@@ -1,0 +1,99 @@
+"""BANG ablations: the spanning property and entry-length encoding.
+
+§5 of the paper traces two BANG weaknesses to implementation choices:
+
+* the missing *spanning property* makes exact-match probes (and small
+  range queries) touch extra directory branches;
+* fixed-length directory entries waste page space; the simulated BANG*
+  with variable-length entries is uniformly a few points better.
+"""
+
+from repro.core.comparison import build_pam, measure, run_pam_queries
+from repro.pam.bang import BangFile
+from repro.workloads.distributions import generate_point_file
+
+from benchmarks.conftest import bench_scale, emit
+
+
+def test_spanning_property(benchmark):
+    points = generate_point_file("cluster", max(bench_scale() // 2, 2000))
+    plain = build_pam(lambda s, dims=2: BangFile(s, dims), points)
+    spanning = build_pam(lambda s, dims=2: BangFile(s, dims, spanning=True), points)
+
+    def probe_cost(bang):
+        total = 0
+        for p in points[:: max(1, len(points) // 200)]:
+            # Two brackets flush the search-path buffer so each probe is
+            # measured cold (the multi-branch probe would otherwise act
+            # as a prefetch for its successor).
+            bang.store.begin_operation()
+            bang.store.begin_operation()
+            cost, _ = measure(bang.store, lambda p=p: bang.exact_match(p))
+            total += cost
+        return total
+
+    plain_cost = probe_cost(plain)
+    spanning_cost = benchmark(lambda: probe_cost(spanning))
+    emit(
+        "ABL-BANG-SPANNING",
+        "BANG spanning-property ablation (total exact-match accesses)\n"
+        f"{'without spanning':>20s}{plain_cost:10d}\n"
+        f"{'with spanning':>20s}{spanning_cost:10d}",
+    )
+    # The spanning property can only reduce probe cost (§5).
+    assert spanning_cost <= plain_cost
+
+
+def test_variable_length_entries(benchmark):
+    points = generate_point_file("cluster", max(bench_scale() // 2, 2000))
+    plain = build_pam(lambda s, dims=2: BangFile(s, dims), points)
+    star = build_pam(
+        lambda s, dims=2: BangFile(s, dims, variable_length_entries=True), points
+    )
+    plain_result = run_pam_queries(plain)
+    star_result = benchmark.pedantic(
+        lambda: run_pam_queries(star), rounds=1, iterations=1
+    )
+    emit(
+        "ABL-BANG-ENTRIES",
+        "BANG fixed vs variable-length directory entries\n"
+        f"{'':14s}{'query avg':>10s}{'dir pages':>10s}\n"
+        f"{'BANG':14s}{plain_result.query_average:10.1f}"
+        f"{plain_result.metrics.directory_pages:10d}\n"
+        f"{'BANG*':14s}{star_result.query_average:10.1f}"
+        f"{star_result.metrics.directory_pages:10d}",
+    )
+    # Table 5.1: BANG* never needs more directory pages and is at least
+    # as good on the query average.
+    assert star_result.metrics.directory_pages <= plain_result.metrics.directory_pages
+    assert star_result.query_average <= plain_result.query_average * 1.05
+
+
+def test_minimal_regions(benchmark):
+    """§9: grafting BUDDY's minimal regions onto BANG.
+
+    "Incorporating an adapted concept of minimizing regions into BANG
+    will improve the retrieval performance to some extent" — measured on
+    the two distributions with the most empty space.
+    """
+    rows = {}
+    for file_name in ("diagonal", "cluster"):
+        points = generate_point_file(file_name, max(bench_scale() // 2, 2000))
+        plain = run_pam_queries(build_pam(lambda s, dims=2: BangFile(s, dims), points))
+        minimal = run_pam_queries(
+            build_pam(lambda s, dims=2: BangFile(s, dims, minimal_regions=True), points)
+        )
+        rows[file_name] = (plain.query_average, minimal.query_average)
+    benchmark(lambda: rows)
+    emit(
+        "ABL-BANG-MBR",
+        "BANG with minimal regions (the paper's §9 suggestion)\n"
+        f"{'':12s}{'BANG':>10s}{'BANG+MBR':>10s}\n"
+        + "\n".join(
+            f"{name:12s}{plain:10.1f}{minimal:10.1f}"
+            for name, (plain, minimal) in rows.items()
+        ),
+    )
+    # The predicted improvement materialises on both skewed files.
+    for plain, minimal in rows.values():
+        assert minimal < plain

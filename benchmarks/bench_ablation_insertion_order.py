@@ -1,0 +1,43 @@
+"""Insertion-order ablation (characteristic C2 of §5).
+
+"Sorted insertions frequently occur in real-life applications ...
+Whereas other PAMs suffer from (C2), BUDDY and BUDDY+ behave robust."
+The bench inserts the same uniform point set in random and in
+lexicographically sorted order and compares the query averages.
+"""
+
+from repro.core.comparison import build_pam, run_pam_queries
+from repro.core.testbed import standard_pam_factories
+from repro.workloads.distributions import generate_point_file
+
+from benchmarks.conftest import bench_scale, emit
+
+
+def test_sorted_insertion(benchmark):
+    points = generate_point_file("uniform", max(bench_scale() // 2, 2000))
+    sorted_points = sorted(points)
+    factories = standard_pam_factories()
+    rows = {}
+    for name in ("GRID", "BANG", "BUDDY"):
+        random_result = run_pam_queries(build_pam(factories[name], points))
+        sorted_result = run_pam_queries(build_pam(factories[name], sorted_points))
+        rows[name] = (
+            random_result.query_average,
+            sorted_result.query_average,
+            sorted_result.metrics.storage_utilization,
+        )
+    benchmark(lambda: rows)
+    emit(
+        "ABL-INSERT-ORDER",
+        "Sorted vs random insertion (uniform data, avg accesses per query)\n"
+        f"{'':10s}{'random':>10s}{'sorted':>10s}{'stor sorted':>12s}\n"
+        + "\n".join(
+            f"{name:10s}{random_avg:10.1f}{sorted_avg:10.1f}{stor:12.1f}"
+            for name, (random_avg, sorted_avg, stor) in rows.items()
+        ),
+    )
+    # BUDDY's sorted-order degradation is the smallest of the three.
+    degradation = {
+        name: sorted_avg / random_avg for name, (random_avg, sorted_avg, _) in rows.items()
+    }
+    assert degradation["BUDDY"] <= min(degradation["GRID"], degradation["BANG"]) * 1.10

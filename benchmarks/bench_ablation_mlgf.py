@@ -1,0 +1,60 @@
+"""BUDDY vs its balanced predecessor, the multilevel grid file.
+
+§2 of the paper claims the path shortening of property (1) "is a
+performance improvement for all operations (queries and updates)
+compared to the balanced competitors of the buddy hash tree".  The
+bench builds both structures on the cluster file and compares insert
+cost, exact-match probes and the five query files.
+"""
+
+from repro.core.comparison import build_pam, measure, run_pam_queries
+from repro.pam.buddytree import BuddyTree
+from repro.pam.mlgf import MultilevelGridFile
+from repro.workloads.distributions import generate_point_file
+
+from benchmarks.conftest import bench_scale, emit
+
+
+def test_buddy_vs_mlgf(benchmark):
+    points = generate_point_file("cluster", max(bench_scale() // 2, 2000))
+    buddy = build_pam(lambda s, dims=2: BuddyTree(s, dims), points)
+    mlgf = build_pam(lambda s, dims=2: MultilevelGridFile(s, dims), points)
+
+    def probe_total(tree):
+        total = 0
+        for p in points[:: max(1, len(points) // 200)]:
+            tree.store.begin_operation()
+            tree.store.begin_operation()
+            cost, _ = measure(tree.store, lambda p=p: tree.exact_match(p))
+            total += cost
+        return total
+
+    rows = {}
+    for name, tree in (("BUDDY", buddy), ("MLGF", mlgf)):
+        result = run_pam_queries(tree)
+        rows[name] = (
+            result.metrics.insert_cost,
+            probe_total(tree),
+            result.query_average,
+            result.metrics.height,
+            result.metrics.directory_pages,
+        )
+    benchmark(lambda: rows)
+    emit(
+        "ABL-MLGF",
+        "BUDDY vs the multilevel grid file (cluster data)\n"
+        f"{'':8s}{'insert':>8s}{'probes':>8s}{'query avg':>11s}{'h':>4s}{'dir pages':>11s}\n"
+        + "\n".join(
+            f"{name:8s}{ins:8.2f}{probes:8d}{avg:11.1f}{h:4d}{pages:11d}"
+            for name, (ins, probes, avg, h, pages) in rows.items()
+        ),
+    )
+    # A negative/ambiguous reproduction result, recorded as such in
+    # EXPERIMENTS.md: the paper claims property (1) improves "all
+    # operations ... compared to the balanced competitors", but at bench
+    # scale the two variants are within a few percent of each other on
+    # every metric, and the balanced variant's uniform depth can even
+    # win under clustered/sorted insertions.  The bench asserts only
+    # that neither dominates by more than a small factor.
+    assert rows["BUDDY"][0] <= rows["MLGF"][0] * 1.15
+    assert rows["BUDDY"][2] <= rows["MLGF"][2] * 1.25

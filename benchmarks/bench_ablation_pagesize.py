@@ -1,0 +1,50 @@
+"""Page-size ablation (§3).
+
+"A doubling of the page size can accommodate an eight times higher file
+size within the same directory height for tree-based directories" — the
+bench builds BUDDY and BANG with 512-, 1024- and 2048-byte pages and
+reports height, pages and query averages.
+"""
+
+from repro.core.comparison import run_pam_queries
+from repro.pam.bang import BangFile
+from repro.pam.buddytree import BuddyTree
+from repro.storage.pagestore import PageStore
+from repro.workloads.distributions import generate_point_file
+
+from benchmarks.conftest import bench_scale, emit
+
+
+def test_page_sizes(benchmark):
+    points = generate_point_file("uniform", max(bench_scale() // 2, 2000))
+    rows = []
+    for page_size in (512, 1024, 2048):
+        for name, factory in (("BUDDY", BuddyTree), ("BANG", BangFile)):
+            pam = factory(PageStore(page_size), 2)
+            for i, p in enumerate(points):
+                pam.insert(p, i)
+            result = run_pam_queries(pam)
+            rows.append(
+                (name, page_size, result.metrics.height,
+                 result.metrics.data_pages + result.metrics.directory_pages,
+                 result.query_average)
+            )
+    benchmark(lambda: rows)
+    emit(
+        "ABL-PAGESIZE",
+        "Page-size ablation (uniform data)\n"
+        f"{'':8s}{'page':>6s}{'h':>4s}{'pages':>8s}{'query avg':>11s}\n"
+        + "\n".join(
+            f"{name:8s}{size:6d}{h:4d}{pages:8d}{avg:11.1f}"
+            for name, size, h, pages, avg in rows
+        ),
+    )
+    # Larger pages never increase the directory height or the page count.
+    by_struct = {}
+    for name, size, h, pages, _ in rows:
+        by_struct.setdefault(name, []).append((size, h, pages))
+    for name, entries in by_struct.items():
+        heights = [h for _, h, _ in entries]
+        pages = [p for _, _, p in entries]
+        assert heights == sorted(heights, reverse=True) or len(set(heights)) == 1
+        assert pages == sorted(pages, reverse=True)

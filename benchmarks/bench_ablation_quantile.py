@@ -1,0 +1,39 @@
+"""PLOP vs quantile hashing [KS 87] on skewed data.
+
+§1 quotes quantile hashing as "very efficient for non-uniform
+distributions" while §2 excludes the whole directory-less family from
+the comparison because it is "efficient only for weakly correlated
+data, but not for strongly correlated data".  The bench shows both
+halves: median boundaries beat dyadic midpoints where the *marginals*
+are skewed (x-parallel, sinus), and neither scheme copes with 2-d
+correlation (cluster).
+"""
+
+from repro.core.comparison import build_pam, run_pam_queries
+from repro.pam.plop import PlopHashing, QuantileHashing
+from repro.workloads.distributions import generate_point_file
+
+from benchmarks.conftest import bench_scale, emit
+
+
+def test_plop_vs_quantile(benchmark):
+    rows = {}
+    for file_name in ("x_parallel", "sinus", "cluster", "uniform"):
+        points = generate_point_file(file_name, max(bench_scale() // 2, 2000))
+        plop = run_pam_queries(build_pam(lambda s, dims=2: PlopHashing(s, dims), points))
+        quantile = run_pam_queries(
+            build_pam(lambda s, dims=2: QuantileHashing(s, dims), points)
+        )
+        rows[file_name] = (plop.query_average, quantile.query_average)
+    benchmark(lambda: rows)
+    emit(
+        "ABL-QUANTILE",
+        "PLOP vs quantile hashing (avg accesses per query)\n"
+        f"{'':12s}{'PLOP':>10s}{'QUANTILE':>10s}\n"
+        + "\n".join(
+            f"{name:12s}{p:10.1f}{q:10.1f}" for name, (p, q) in rows.items()
+        ),
+    )
+    # Skewed marginals: quantile boundaries adapt.
+    assert rows["x_parallel"][1] < rows["x_parallel"][0]
+    assert rows["sinus"][1] < rows["sinus"][0]

@@ -1,0 +1,43 @@
+"""The twin grid file (class C2): space optimisation vs query cost.
+
+§2 sets the twin grid file aside "since the concept ... is generally
+applicable to any PAM", suggesting it for future work.  The bench fills
+the gap: the twin principle buys storage utilisation (towards the
+published ~90 % at the paper's scale) but pays two directory searches
+per operation.
+"""
+
+from repro.core.comparison import build_pam, run_pam_queries
+from repro.pam.gridfile import GridFile
+from repro.pam.twingrid import TwinGridFile
+from repro.workloads.distributions import generate_point_file
+
+from benchmarks.conftest import bench_scale, emit
+
+
+def test_twin_vs_single_grid(benchmark):
+    rows = {}
+    for file_name in ("uniform", "cluster"):
+        points = generate_point_file(file_name, max(bench_scale() // 2, 2000))
+        single = run_pam_queries(build_pam(lambda s, dims=2: GridFile(s, dims), points))
+        twin = run_pam_queries(
+            build_pam(lambda s, dims=2: TwinGridFile(s, dims), points)
+        )
+        rows[file_name] = (
+            single.metrics.storage_utilization,
+            twin.metrics.storage_utilization,
+            single.query_average,
+            twin.query_average,
+        )
+    benchmark(lambda: rows)
+    emit(
+        "ABL-TWIN",
+        "Twin grid file vs one-level grid file\n"
+        f"{'':10s}{'stor 1x':>9s}{'stor twin':>10s}{'qa 1x':>8s}{'qa twin':>9s}\n"
+        + "\n".join(
+            f"{name:10s}{s1:9.1f}{s2:10.1f}{q1:8.1f}{q2:9.1f}"
+            for name, (s1, s2, q1, q2) in rows.items()
+        ),
+    )
+    for s1, s2, _, _ in rows.values():
+        assert s2 > s1  # the space optimisation is real

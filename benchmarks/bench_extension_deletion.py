@@ -1,0 +1,67 @@
+"""Deletion bench (an extension: §3 leaves deletions unmeasured).
+
+"For the BANG-file and the hB-tree no deletion algorithms have been
+specified.  Therefore, for our comparison we only consider the case of
+the growing file."  Deletion *is* specified for the grid file, the
+buddy tree and the R-tree; the bench shrinks built files by half and
+reports the average deletion cost and the resulting utilisation.
+"""
+
+from repro.core.comparison import build_pam, build_sam
+from repro.pam.buddytree import BuddyTree
+from repro.pam.gridfile import GridFile
+from repro.sam.rtree import RTree
+from repro.workloads.distributions import generate_point_file
+from repro.workloads.rect_distributions import generate_rect_file
+
+from benchmarks.conftest import bench_scale, emit
+
+
+def test_deletion_costs(benchmark):
+    n = max(bench_scale() // 2, 2000)
+    points = generate_point_file("uniform", n)
+    rects = generate_rect_file("uniform_small", n)
+
+    def run():
+        rows = {}
+        for name, index, items, delete in (
+            (
+                "GridFile",
+                build_pam(lambda s, dims=2: GridFile(s, dims), points),
+                points,
+                lambda ix, item, rid: ix.delete(item, rid),
+            ),
+            (
+                "BUDDY",
+                build_pam(lambda s, dims=2: BuddyTree(s, dims), points),
+                points,
+                lambda ix, item, rid: ix.delete(item, rid),
+            ),
+            (
+                "R-Tree",
+                build_sam(lambda s, dims=2: RTree(s, dims), rects),
+                rects,
+                lambda ix, item, rid: ix.delete(item, rid),
+            ),
+        ):
+            before = index.store.stats.total
+            half = len(items) // 2
+            for rid, item in enumerate(items[:half]):
+                assert delete(index, item, rid)
+            cost = (index.store.stats.total - before) / half
+            rows[name] = (cost, index.metrics().storage_utilization)
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "EXT-DELETE",
+        "Deleting half the file (avg accesses per deletion)\n"
+        f"{'':10s}{'delete':>8s}{'stor after':>11s}\n"
+        + "\n".join(
+            f"{name:10s}{cost:8.2f}{stor:11.1f}"
+            for name, (cost, stor) in rows.items()
+        ),
+    )
+    for cost, stor in rows.values():
+        assert cost > 0
+        assert 0 < stor <= 100

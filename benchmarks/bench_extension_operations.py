@@ -1,0 +1,73 @@
+"""Spatial join and nearest-neighbour benches (the §8 missing operations).
+
+"There are additional important operations and queries such as spatial
+join ('overlay two maps') and near neighbor-type queries" — measured
+here as an extension: the synchronised R-tree join against the
+nested-loop baseline, and best-first nearest neighbours against a full
+scan bound.
+"""
+
+from repro.core.comparison import build_sam
+from repro.sam.operations import nearest_neighbors, nested_loop_join, rtree_join
+from repro.sam.rtree import RTree
+from repro.workloads.queries import generate_point_queries
+from repro.workloads.rect_distributions import generate_rect_file
+
+from benchmarks.conftest import bench_scale, emit
+
+
+def test_spatial_join(benchmark):
+    n = max(bench_scale() // 4, 1000)
+    left_rects = generate_rect_file("uniform_small", n, seed=41)
+    right_rects = generate_rect_file("gaussian_square", n, seed=42)
+    left = build_sam(lambda s, dims=2: RTree(s, dims), left_rects)
+    right = build_sam(lambda s, dims=2: RTree(s, dims), right_rects)
+
+    before = left.store.stats.total + right.store.stats.total
+    pairs = benchmark.pedantic(
+        lambda: rtree_join(left, right), rounds=1, iterations=1
+    )
+    sync_cost = left.store.stats.total + right.store.stats.total - before
+
+    fresh = build_sam(lambda s, dims=2: RTree(s, dims), right_rects)
+    before = fresh.store.stats.total
+    nested = nested_loop_join(list(zip(left_rects, range(n))), fresh)
+    nested_cost = fresh.store.stats.total - before
+
+    emit(
+        "EXT-JOIN",
+        "Spatial join ('overlay two maps'), page accesses\n"
+        f"{'result pairs':20s}{len(pairs):>10d}\n"
+        f"{'synchronised join':20s}{sync_cost:>10d}\n"
+        f"{'nested-loop join':20s}{nested_cost:>10d}",
+    )
+    assert sorted(pairs) == sorted(nested)
+    assert sync_cost < nested_cost
+
+
+def test_nearest_neighbors(benchmark):
+    n = max(bench_scale() // 2, 2000)
+    rects = generate_rect_file("uniform_small", n, seed=43)
+    tree = build_sam(lambda s, dims=2: RTree(s, dims), rects)
+    probes = generate_point_queries(count=20, seed=44)
+
+    def run():
+        total_cost = 0
+        for probe in probes:
+            tree.store.begin_operation()
+            tree.store.begin_operation()
+            before = tree.store.stats.total
+            nearest_neighbors(tree, probe, k=5)
+            total_cost += tree.store.stats.total - before
+        return total_cost
+
+    total_cost = benchmark.pedantic(run, rounds=1, iterations=1)
+    pages = tree.metrics().data_pages + tree.metrics().directory_pages
+    emit(
+        "EXT-NN",
+        "Nearest neighbours (k=5, 20 probes), page accesses\n"
+        f"{'best-first total':20s}{total_cost:>10d}\n"
+        f"{'file size (pages)':20s}{pages:>10d}",
+    )
+    # Branch-and-bound must beat even a single full scan per probe.
+    assert total_cost < pages

@@ -1,0 +1,49 @@
+"""Reproduces the §8 summary table: per-type averages over the five
+rectangle files, normalised to the R-tree (= 100), plus the average
+storage utilisation and insertion cost."""
+
+from repro.bench.paper import SAM_SUMMARY_PAPER
+from repro.core.comparison import SAM_QUERY_TYPES
+
+from benchmarks.conftest import emit, paper_vs_measured, sam_results
+
+FILES = ("uniform_small", "uniform_large", "gaussian_square", "gaussian_slim", "diagonal")
+STRUCTURES = ("R-Tree", "BANG", "BUDDY", "PLOP")
+
+
+def test_table_sam_average(benchmark):
+    per_file = {file_name: sam_results(file_name) for file_name in FILES}
+    measured = {}
+    for name in STRUCTURES:
+        normalised = []
+        for query in SAM_QUERY_TYPES:
+            ratios = [
+                100.0
+                * per_file[f][name].query_costs[query]
+                / per_file[f]["R-Tree"].query_costs[query]
+                for f in FILES
+            ]
+            normalised.append(sum(ratios) / len(ratios))
+        stor = sum(
+            per_file[f][name].metrics.storage_utilization for f in FILES
+        ) / len(FILES)
+        insert = sum(per_file[f][name].metrics.insert_cost for f in FILES) / len(FILES)
+        measured[name] = tuple(normalised) + (stor, insert)
+    emit(
+        "TAB-SAM-AVG",
+        paper_vs_measured(
+            "SAM summary: average over the 5 rectangle files (R-tree = 100)",
+            SAM_SUMMARY_PAPER,
+            measured,
+            ("point", "intersect", "enclose", "contain", "stor", "insert"),
+        ),
+    )
+    benchmark(lambda: measured)
+    # The paper's strongest conclusion survives any implementation
+    # tuning: the corner transformation wins rectangle containment by an
+    # order of magnitude (paper: 14 % of the R-tree; see EXPERIMENTS.md
+    # for the point/intersection deviation caused by our tighter R-tree).
+    assert measured["BUDDY"][3] < 50.0  # containment
+    assert measured["BANG"][3] < 50.0
+    # PLOP does not beat the R-tree on intersection on average.
+    assert measured["PLOP"][1] > 85.0

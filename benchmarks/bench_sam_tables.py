@@ -1,0 +1,92 @@
+"""Reproduces the five §8 SAM tables (absolute accesses per query type).
+
+Each table runs the full §7 workload (160 query rectangles of eight
+size/shape classes for intersection, enclosure and containment, plus 20
+point queries) against the R-tree, BANG and BUDDY via transformation,
+and PLOP via overlapping regions.
+"""
+
+from repro.bench.paper import SAM_TABLE_PAPER
+from repro.core.comparison import SAM_QUERY_TYPES
+
+from benchmarks.conftest import emit, paper_vs_measured, sam_results
+
+COLUMNS = ("point", "intersect", "enclose", "contain")
+
+
+def measured_rows(results):
+    return {
+        name: tuple(result.query_costs[q] for q in SAM_QUERY_TYPES)
+        for name, result in results.items()
+    }
+
+
+def run_table(benchmark, file_name: str, experiment_id: str, title: str):
+    results = sam_results(file_name)
+    emit(
+        experiment_id,
+        paper_vs_measured(
+            title, SAM_TABLE_PAPER[file_name], measured_rows(results), COLUMNS
+        ),
+    )
+    benchmark(lambda: results)  # builds/queries are cached; time the lookup
+    return results
+
+
+def cost(results, name, query):
+    return results[name].query_costs[query]
+
+
+def test_table_gaussianslim(benchmark):
+    results = run_table(
+        benchmark, "gaussian_slim", "TAB-SAM-GSLIM", "Gaussianslim-Distribution"
+    )
+    # Paper: transformation containment is far below R-tree containment.
+    assert cost(results, "BUDDY", "containment") < cost(results, "R-Tree", "containment")
+
+
+def test_table_uniformsmall(benchmark):
+    results = run_table(
+        benchmark, "uniform_small", "TAB-SAM-USMALL", "Uniformsmall-Distribution"
+    )
+    # Region minimisation makes BUDDY the better transformation
+    # substrate.  (With near-point rectangles nearly every intersecting
+    # rectangle is also contained, so the containment shortcut has
+    # nothing to win on this file — see EXPERIMENTS.md.)
+    assert cost(results, "BUDDY", "point") < cost(results, "BANG", "point")
+
+
+def test_table_gaussiansquare(benchmark):
+    results = run_table(
+        benchmark, "gaussian_square", "TAB-SAM-GSQ", "Gaussiansquare-Distribution"
+    )
+    # "The technique of transformation was always best for the rectangle
+    # containment query" (§8).
+    assert cost(results, "BUDDY", "containment") < cost(
+        results, "R-Tree", "containment"
+    )
+    assert cost(results, "BANG", "containment") < cost(
+        results, "R-Tree", "containment"
+    )
+
+
+def test_table_uniformlarge(benchmark):
+    results = run_table(
+        benchmark, "uniform_large", "TAB-SAM-ULARGE", "Uniformlarge-Distribution"
+    )
+    # Paper: large rectangles ruin the R-tree and PLOP; BANG/BUDDY
+    # containment stays tiny thanks to the corner transformation.
+    assert cost(results, "BANG", "containment") < 0.2 * cost(
+        results, "R-Tree", "containment"
+    )
+    assert cost(results, "PLOP", "intersection") > 0.5 * cost(
+        results, "R-Tree", "intersection"
+    )
+
+
+def test_table_sam_diagonal(benchmark):
+    results = run_table(
+        benchmark, "diagonal", "TAB-SAM-DIAG", "Diagonal-Distribution"
+    )
+    # Paper: PLOP is the clear loser on the diagonal rectangles.
+    assert cost(results, "PLOP", "intersection") > cost(results, "BUDDY", "intersection")

@@ -1,0 +1,124 @@
+"""Shared bench infrastructure.
+
+Builds are expensive, so every (data file, structure) pair is built and
+queried once per session and cached; the ``benchmark`` fixture then
+times a representative re-run of one query file so ``pytest-benchmark``
+reports wall-clock numbers while the printed tables report the paper's
+metric (page accesses).
+
+Every bench prints its paper-style table and writes it to
+``results/<experiment id>.txt``; set ``REPRO_BENCH_SCALE`` to change the
+number of records per file (default 10 000; the paper uses 100 000).
+"""
+
+from __future__ import annotations
+
+import copy
+from pathlib import Path
+
+import pytest
+
+from repro.core.comparison import (
+    MethodResult,
+    build_pam,
+    build_sam,
+    run_pam_queries,
+    run_sam_queries,
+)
+from repro.core.testbed import (
+    standard_pam_factories,
+    standard_sam_factories,
+    testbed_scale,
+)
+from repro.workloads.distributions import generate_point_file
+from repro.workloads.rect_distributions import generate_rect_file
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+_pam_cache: dict[str, dict[str, MethodResult]] = {}
+_sam_cache: dict[str, dict[str, MethodResult]] = {}
+_pam_built: dict[tuple[str, str], object] = {}
+
+
+def bench_scale() -> int:
+    """Records per data file for this bench session."""
+    return testbed_scale()
+
+
+def pam_results(file_name: str) -> dict[str, MethodResult]:
+    """Build every PAM (plus BUDDY+) on ``file_name`` and run the queries."""
+    if file_name in _pam_cache:
+        return _pam_cache[file_name]
+    points = generate_point_file(file_name, bench_scale())
+    results: dict[str, MethodResult] = {}
+    for name, factory in standard_pam_factories().items():
+        pam = build_pam(factory, points)
+        _pam_built[(file_name, name)] = pam
+        result = run_pam_queries(pam)
+        result.name = name
+        results[name] = result
+        if name == "BUDDY":
+            # The packed variant is derived from the built BUDDY file,
+            # exactly as the authors generated it by simulation.
+            pam.pack()
+            packed = run_pam_queries(pam)
+            packed.name = "BUDDY+"
+            results["BUDDY+"] = packed
+    _pam_cache[file_name] = results
+    return results
+
+
+def built_pam(file_name: str, name: str):
+    """The cached built structure (after :func:`pam_results`)."""
+    pam_results(file_name)
+    return _pam_built[(file_name, name)]
+
+
+def sam_results(file_name: str) -> dict[str, MethodResult]:
+    """Build every SAM on ``file_name`` and run the §7 query workload."""
+    if file_name in _sam_cache:
+        return _sam_cache[file_name]
+    rects = generate_rect_file(file_name, bench_scale())
+    results: dict[str, MethodResult] = {}
+    for name, factory in standard_sam_factories().items():
+        sam = build_sam(factory, rects)
+        result = run_sam_queries(sam)
+        result.name = name
+        results[name] = result
+    _sam_cache[file_name] = results
+    return results
+
+
+def emit(experiment_id: str, text: str) -> None:
+    """Print a table and persist it under ``results/``."""
+    print()
+    print(text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{experiment_id}.txt").write_text(text + "\n", encoding="utf-8")
+
+
+def paper_vs_measured(
+    title: str,
+    paper: dict[str, tuple],
+    measured: dict[str, tuple],
+    columns: tuple[str, ...],
+) -> str:
+    """Two-row-per-structure table: the paper's value above ours."""
+    width = max(10, *(len(c) + 2 for c in columns))
+    header = f"{'':14s}" + "".join(f"{c:>{width}s}" for c in columns)
+    lines = [title, header]
+    for name in measured:
+        for label, row in (("paper", paper.get(name)), ("here", measured[name])):
+            if row is None:
+                continue
+            cells = "".join(
+                f"{v:{width}.1f}" if isinstance(v, (int, float)) else f"{'-':>{width}s}"
+                for v in row
+            )
+            lines.append(f"{name:8s}{label:>6s}{cells}")
+    return "\n".join(lines)
+
+
+@pytest.fixture(scope="session")
+def scale() -> int:
+    return bench_scale()

@@ -1,0 +1,83 @@
+"""CAD scenario: component bounding boxes under interactive queries.
+
+The paper's second motivating application (CAD/CIM): a layout editor
+stores the bounding rectangles of thousands of components and issues
+
+* point queries  — "which components are under the cursor?",
+* intersections  — "which components touch the selection window?",
+* containments   — "which components are fully inside the window?"
+  (cut/copy of a region),
+* enclosures     — "which enclosing blocks contain this cell?".
+
+Three spatial access methods answer the same session; the R-tree is the
+familiar baseline, the corner transformation over a BUDDY tree is the
+paper's recommendation, and clipping shows Orenstein's redundancy
+approach.
+
+Run:  python examples/cad_layout.py [n_components]
+"""
+
+import sys
+
+from repro import BuddyTree, ClippingSAM, PageStore, Rect, RTree, TransformationSAM
+from repro.workloads.rect_distributions import generate_rect_file
+
+
+def build_indexes(rects):
+    indexes = {
+        "R-tree": RTree(PageStore(), dims=2),
+        "BUDDY (corner)": TransformationSAM(
+            PageStore(), lambda s, dims: BuddyTree(s, dims), dims=2
+        ),
+        "clipping (r=4)": ClippingSAM(PageStore(), dims=2, redundancy=4),
+    }
+    for index in indexes.values():
+        for rid, rect in enumerate(rects):
+            index.insert(rect, rid)
+    return indexes
+
+
+def main(n_components: int = 4000) -> None:
+    # Component footprints cluster around functional blocks, like the
+    # paper's Gaussian rectangle files.
+    rects = generate_rect_file("gaussian_square", n_components)
+    indexes = build_indexes(rects)
+    print(f"placed {len(rects)} components\n")
+
+    cursor = (0.52, 0.48)
+    window = Rect((0.35, 0.35), (0.6, 0.6))
+    cell = rects[17]
+
+    operations = [
+        ("cursor pick", lambda index: index.point_query(cursor)),
+        ("window touch", lambda index: index.intersection(window)),
+        ("window inside", lambda index: index.containment(window)),
+        ("enclosing blocks", lambda index: index.enclosure(cell)),
+    ]
+
+    header = f"{'operation':18s}" + "".join(f"{name:>18s}" for name in indexes)
+    print(header)
+    reference = None
+    for label, operation in operations:
+        row = f"{label:18s}"
+        answers = []
+        for index in indexes.values():
+            before = index.store.stats.total
+            result = operation(index)
+            cost = index.store.stats.total - before
+            answers.append(sorted(result))
+            row += f"{len(result):>7d} ({cost:>4d}io)"
+        assert all(a == answers[0] for a in answers), "indexes disagree!"
+        print(row)
+        reference = answers[0]
+
+    print(
+        "\nAll three indexes return identical component sets; the "
+        "access counts show the\ntrade-offs the paper measured "
+        "(transformation wins containment, clipping pays\nredundant "
+        "storage for coarse queries)."
+    )
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 4000)

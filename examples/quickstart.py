@@ -1,0 +1,56 @@
+"""Quickstart: index points and rectangles, query them, read the metrics.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import BuddyTree, PageStore, Rect, RTree
+from repro.workloads.distributions import generate_point_file
+from repro.workloads.rect_distributions import generate_rect_file
+
+
+def point_index_demo() -> None:
+    # Every access method lives on a simulated 512-byte page store that
+    # counts disk accesses -- the paper's performance metric.
+    store = PageStore()
+    index = BuddyTree(store, dims=2)
+
+    for rid, point in enumerate(generate_point_file("cluster", 5000)):
+        index.insert(point, rid)
+
+    window = Rect((0.2, 0.2), (0.4, 0.4))
+    before = store.stats.total
+    hits = index.range_query(window)
+    print(f"range query {window}")
+    print(f"  {len(hits)} records, {store.stats.total - before} page accesses")
+
+    specified = {0: hits[0][0][0]} if hits else {0: 0.5}
+    matches = index.partial_match(specified)
+    print(f"partial match x={specified[0]:.4f}: {len(matches)} records")
+
+    m = index.metrics()
+    print(
+        f"file: {m.records} records, {m.data_pages} data pages, "
+        f"{m.directory_pages} directory pages, height {m.height}, "
+        f"storage utilisation {m.storage_utilization:.1f} %, "
+        f"insert cost {m.insert_cost:.2f} accesses"
+    )
+
+
+def rectangle_index_demo() -> None:
+    store = PageStore()
+    index = RTree(store, dims=2)
+
+    rects = generate_rect_file("uniform_small", 3000)
+    for rid, rect in enumerate(rects):
+        index.insert(rect, rid)
+
+    probe = (0.5, 0.5)
+    print(f"\npoint query {probe}: {len(index.point_query(probe))} rectangles")
+    window = Rect((0.45, 0.45), (0.55, 0.55))
+    print(f"intersection {window}: {len(index.intersection(window))} rectangles")
+    print(f"containment {window}: {len(index.containment(window))} rectangles")
+
+
+if __name__ == "__main__":
+    point_index_demo()
+    rectangle_index_demo()

@@ -1,0 +1,5 @@
+"""Bench support: paper-style table formatting and experiment runners."""
+
+from repro.bench.tables import format_metrics_table, format_normalised_table
+
+__all__ = ["format_metrics_table", "format_normalised_table"]

@@ -1,0 +1,126 @@
+"""The paper's published numbers, for side-by-side reporting.
+
+Transcribed from the tables of §4, §5 and §8.  Query figures in the PAM
+tables are percentages of GRID (= 100); build figures are absolute.  The
+SAM tables are absolute disk accesses per query.  ``None`` marks values
+the paper does not report (e.g. insert cost for the derived BUDDY+).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "PAM_TABLE_PAPER",
+    "PAM_QUERY_AVERAGE_PAPER",
+    "PAM_SUMMARY_PAPER",
+    "SAM_TABLE_PAPER",
+    "SAM_SUMMARY_PAPER",
+]
+
+#: §4 tables: distribution -> structure -> (range .1%, range 1%, range 10%,
+#: pm x, pm y, stor, dir/data, insert, h).
+PAM_TABLE_PAPER = {
+    "uniform": {
+        "HB": (113.3, 104.3, 103.9, 137.3, 92.7, 69.9, 3.53, 3.29, 3),
+        "BANG": (113.9, 105.8, 101.9, 110.6, 103.5, 70.1, 2.35, 3.06, 3),
+        "GRID": (100.0, 100.0, 100.0, 100.0, 100.0, 70.2, 1.12, 2.90, 2),
+        "BUDDY": (101.7, 102.7, 101.2, 108.3, 100.0, 70.2, 2.28, 3.19, 2),
+        "BUDDY+": (101.2, 100.5, 96.8, 107.4, 99.6, 74.5, 2.42, None, 2),
+    },
+    "sinus": {
+        "HB": (105.4, 103.4, 100.2, 121.2, 97.5, 69.1, 3.77, 3.29, 3),
+        "BANG": (139.2, 109.5, 100.1, 111.9, 107.3, 69.6, 2.33, 2.95, 3),
+        "GRID": (100.0, 100.0, 100.0, 100.0, 100.0, 68.2, 1.67, 2.97, 2),
+        "BUDDY": (97.1, 98.4, 98.3, 92.2, 91.9, 68.8, 2.10, 3.21, 2),
+        "BUDDY+": (96.6, 95.1, 93.8, 89.8, 90.3, 72.9, 2.22, None, 2),
+    },
+    "bit": {
+        "HB": (77.1, 61.2, 59.2, 52.7, 50.8, 69.5, 3.72, 3.28, 3),
+        "BANG": (145.0, 84.3, 64.0, 44.8, 64.5, 67.3, 2.42, 2.96, 3),
+        "GRID": (100.0, 100.0, 100.0, 100.0, 100.0, 42.4, 2.75, 3.03, 2),
+        "BUDDY": (115.6, 105.6, 99.2, 48.4, 69.7, 43.0, 5.10, 3.62, 3),
+        "BUDDY+": (105.5, 89.6, 67.5, 46.1, 66.5, 71.0, 8.42, None, 3),
+    },
+    "x_parallel": {
+        "HB": (94.9, 89.2, 91.1, 132.4, 59.6, 69.6, 3.62, 3.29, 3),
+        "BANG": (126.5, 100.1, 95.8, 83.6, 114.7, 65.4, 2.19, 3.03, 3),
+        "GRID": (100.0, 100.0, 100.0, 100.0, 100.0, 62.9, 3.77, 3.01, 2),
+        "BUDDY": (74.5, 83.1, 92.3, 72.8, 50.4, 67.2, 2.45, 3.21, 2),
+        "BUDDY+": (72.4, 78.5, 87.3, 72.6, 50.0, 71.1, 2.60, None, 2),
+    },
+    "cluster": {
+        # Only the side table (stor, dir/data, insert, h) is printed in
+        # the paper for this figure; query bars are in FIG-CLUST.
+        "HB": (None, None, None, None, None, 69.2, 3.88, 2.78, 3),
+        "BANG": (None, None, None, None, None, 68.8, 2.30, 2.56, 3),
+        "GRID": (None, None, None, None, None, 62.1, 2.24, 2.44, 2),
+        "BUDDY": (None, None, None, None, None, 67.1, 4.00, 2.66, 3),
+        "BUDDY+": (None, None, None, None, None, 71.5, 4.25, None, 3),
+    },
+}
+
+#: Table 5.2: distribution -> structure -> unweighted average over the
+#: five query types, % of GRID.
+PAM_QUERY_AVERAGE_PAPER = {
+    "uniform": {"HB": 110.3, "BANG": 107.1, "BANG*": 100.2, "GRID": 100.0, "BUDDY": 102.8, "BUDDY+": 101.1},
+    "sinus": {"HB": 105.5, "BANG": 113.6, "BANG*": 108.0, "GRID": 100.0, "BUDDY": 95.6, "BUDDY+": 93.1},
+    "bit": {"HB": 60.2, "BANG": 80.5, "BANG*": 72.8, "GRID": 100.0, "BUDDY": 87.7, "BUDDY+": 75.0},
+    "x_parallel": {"HB": 93.4, "BANG": 104.1, "BANG*": 99.8, "GRID": 100.0, "BUDDY": 74.6, "BUDDY+": 72.2},
+    "real": {"HB": 127.4, "BANG": 135.0, "BANG*": 131.8, "GRID": 100.0, "BUDDY": 99.4, "BUDDY+": 97.6},
+    "diagonal": {"HB": 105.0, "BANG": 78.4, "BANG*": 68.2, "GRID": 100.0, "BUDDY": 28.4, "BUDDY+": 27.8},
+    "cluster": {"HB": 174.2, "BANG": 99.4, "BANG*": 90.1, "GRID": 100.0, "BUDDY": 73.0, "BUDDY+": 69.2},
+}
+
+#: Table 5.1: structure -> (query average, stor, insert), averaged over
+#: all seven distributions.
+PAM_SUMMARY_PAPER = {
+    "HB": (110.9, 68.6, 2.80),
+    "BANG": (102.6, 67.9, 2.43),
+    "BANG*": (95.8, 67.9, 2.49),
+    "GRID": (100.0, 58.3, 2.56),
+    "BUDDY": (80.2, 64.9, 2.78),
+    "BUDDY+": (76.6, 72.5, None),
+}
+
+#: §8 tables: rect file -> structure -> (point, intersection, enclosure,
+#: containment) in absolute disk accesses per query.
+SAM_TABLE_PAPER = {
+    "gaussian_slim": {
+        "R-Tree": (189.4, 472.0, 34.8, 472.0),
+        "BANG": (167.7, 401.4, 41.7, 37.1),
+        "BUDDY": (159.8, 394.9, 30.4, 34.5),
+        "PLOP": (273.6, 637.3, 55.5, 637.3),
+    },
+    "uniform_small": {
+        "R-Tree": (55.9, 195.8, 15.0, 195.8),
+        "BANG": (52.5, 177.1, 17.4, 61.1),
+        "BUDDY": (37.0, 162.8, 7.2, 58.5),
+        "PLOP": (41.4, 172.9, 6.1, 172.9),
+    },
+    "gaussian_square": {
+        "R-Tree": (86.5, 266.7, 14.0, 266.7),
+        "BANG": (68.8, 236.3, 16.0, 68.2),
+        "BUDDY": (57.6, 232.6, 6.4, 65.7),
+        "PLOP": (97.2, 299.2, 6.8, 299.2),
+    },
+    "uniform_large": {
+        "R-Tree": (742.8, 988.2, 518.7, 988.2),
+        "BANG": (388.6, 603.8, 239.4, 20.2),
+        "BUDDY": (380.2, 593.3, 231.2, 18.0),
+        "PLOP": (783.6, 965.4, 613.0, 965.4),
+    },
+    "diagonal": {
+        "R-Tree": (283.4, 568.2, 163.7, 568.2),
+        "BANG": (187.8, 413.3, 97.2, 25.6),
+        "BUDDY": (187.5, 421.0, 92.9, 22.9),
+        "PLOP": (435.2, 748.1, 245.5, 748.1),
+    },
+}
+
+#: §8 summary: structure -> (point, intersection, enclosure, containment,
+#: stor, insert); query figures are % of the R-tree.
+SAM_SUMMARY_PAPER = {
+    "R-Tree": (100.0, 100.0, 100.0, 100.0, 67.6, 110.3),
+    "BANG": (76.1, 79.5, 91.2, 14.3, 68.5, 2.88),
+    "BUDDY": (66.9, 77.6, 56.5, 13.5, 65.5, 2.92),
+    "PLOP": (98.1, 113.0, 103.4, 113.0, 61.0, 2.74),
+}

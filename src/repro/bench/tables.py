@@ -1,0 +1,73 @@
+"""Paper-style table rendering for the benches and EXPERIMENTS.md.
+
+The PAM tables print one row per structure with the five query types as
+percentages of GRID (= 100.0) followed by ``stor``, ``dir/data``,
+``insert`` and ``h`` — the exact layout of the tables in §4.  The SAM
+tables print absolute disk-access averages per query type, as in §8.
+"""
+
+from __future__ import annotations
+
+from repro.core.comparison import MethodResult
+
+__all__ = ["format_normalised_table", "format_absolute_table", "format_metrics_table"]
+
+
+def format_normalised_table(
+    title: str,
+    results: dict[str, MethodResult],
+    normalised: dict[str, dict[str, float]],
+    query_order: tuple[str, ...],
+) -> str:
+    """One §4-style table: normalised query costs plus build metrics."""
+    header = (
+        f"{'':10s}" + "".join(f"{label:>12s}" for label in query_order)
+        + f"{'stor':>8s}{'dir/data':>10s}{'insert':>8s}{'h':>4s}"
+    )
+    lines = [title, header]
+    for name, result in results.items():
+        metrics = result.metrics
+        row = f"{name:10s}" + "".join(
+            f"{normalised[name][label]:12.1f}" for label in query_order
+        )
+        row += (
+            f"{metrics.storage_utilization:8.1f}"
+            f"{metrics.dir_data_ratio:10.2f}"
+            f"{metrics.insert_cost:8.2f}"
+            f"{metrics.height:4d}"
+        )
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def format_absolute_table(
+    title: str,
+    results: dict[str, MethodResult],
+    query_order: tuple[str, ...],
+) -> str:
+    """One §8-style table: absolute average disk accesses per query."""
+    header = f"{'':10s}" + "".join(f"{label:>14s}" for label in query_order)
+    lines = [title, header]
+    for name, result in results.items():
+        row = f"{name:10s}" + "".join(
+            f"{result.query_costs[label]:14.1f}" for label in query_order
+        )
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def format_metrics_table(title: str, results: dict[str, MethodResult]) -> str:
+    """Build-metric columns only (used by the summary tables)."""
+    header = f"{'':10s}{'stor':>8s}{'dir/data':>10s}{'insert':>8s}{'h':>4s}{'pages':>8s}"
+    lines = [title, header]
+    for name, result in results.items():
+        metrics = result.metrics
+        lines.append(
+            f"{name:10s}"
+            f"{metrics.storage_utilization:8.1f}"
+            f"{metrics.dir_data_ratio:10.2f}"
+            f"{metrics.insert_cost:8.2f}"
+            f"{metrics.height:4d}"
+            f"{metrics.data_pages + metrics.directory_pages:8d}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,11 @@
+"""Experiment framework: interfaces, metrics, drivers and the testbed."""
+
+from repro.core.interfaces import PointAccessMethod, SpatialAccessMethod
+from repro.core.stats import AccessStats, BuildMetrics
+
+__all__ = [
+    "AccessStats",
+    "BuildMetrics",
+    "PointAccessMethod",
+    "SpatialAccessMethod",
+]

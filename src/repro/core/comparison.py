@@ -1,0 +1,184 @@
+"""The paper's experiment driver.
+
+Builds each access method on a data file, runs the query files, and
+reports average disk accesses per query — optionally normalised to a
+measuring stick (GRID = 100 % in Part I, the R-tree in Part II), which
+is exactly how the paper's tables are laid out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.core.interfaces import PointAccessMethod, SpatialAccessMethod
+from repro.core.stats import BuildMetrics
+from repro.geometry.rect import Rect
+from repro.storage.pagestore import PageStore
+from repro.workloads.queries import (
+    RANGE_QUERY_VOLUMES,
+    generate_partial_match_queries,
+    generate_range_queries,
+    generate_rect_query_workload,
+)
+
+__all__ = [
+    "PAM_QUERY_TYPES",
+    "SAM_QUERY_TYPES",
+    "MethodResult",
+    "measure",
+    "build_pam",
+    "build_sam",
+    "run_pam_experiment",
+    "run_sam_experiment",
+    "normalise",
+]
+
+#: Query-type labels in the order of the paper's PAM tables.
+PAM_QUERY_TYPES = ("range_0.1%", "range_1%", "range_10%", "pm_x", "pm_y")
+
+#: Query-type labels in the order of the paper's SAM tables.
+SAM_QUERY_TYPES = ("point", "intersection", "enclosure", "containment")
+
+
+@dataclass
+class MethodResult:
+    """Build metrics and per-query-type average disk accesses."""
+
+    name: str
+    metrics: BuildMetrics
+    query_costs: dict[str, float] = field(default_factory=dict)
+    query_results: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def query_average(self) -> float:
+        """Unweighted average over the query types (the paper's indicator)."""
+        return sum(self.query_costs.values()) / len(self.query_costs)
+
+
+def measure(store: PageStore, operation: Callable[[], object]) -> tuple[int, object]:
+    """Run one operation and return ``(disk accesses, result)``."""
+    before = store.stats.total
+    result = operation()
+    return store.stats.total - before, result
+
+
+def build_pam(
+    factory: Callable[..., PointAccessMethod],
+    points: Sequence[tuple[float, ...]],
+    dims: int = 2,
+    page_size: int = 512,
+) -> PointAccessMethod:
+    """Build a fresh PAM over its own page store and insert all points."""
+    pam = factory(PageStore(page_size), dims=dims)
+    for rid, point in enumerate(points):
+        pam.insert(point, rid)
+    return pam
+
+
+def build_sam(
+    factory: Callable[..., SpatialAccessMethod],
+    rects: Sequence[Rect],
+    dims: int = 2,
+    page_size: int = 512,
+) -> SpatialAccessMethod:
+    """Build a fresh SAM over its own page store and insert all rectangles."""
+    sam = factory(PageStore(page_size), dims=dims)
+    for rid, rect in enumerate(rects):
+        sam.insert(rect, rid)
+    return sam
+
+
+def run_pam_queries(pam: PointAccessMethod, seed: int = 101) -> MethodResult:
+    """Run the five query files of §3 against a built PAM."""
+    result = MethodResult(type(pam).__name__, pam.metrics())
+    for label, volume in zip(PAM_QUERY_TYPES[:3], RANGE_QUERY_VOLUMES):
+        queries = generate_range_queries(volume, seed=seed)
+        total_cost = total_hits = 0
+        for rect in queries:
+            cost, hits = measure(pam.store, lambda r=rect: pam.range_query(r))
+            total_cost += cost
+            total_hits += len(hits)
+        result.query_costs[label] = total_cost / len(queries)
+        result.query_results[label] = total_hits
+    for label, axis in (("pm_x", 0), ("pm_y", 1)):
+        queries = generate_partial_match_queries(axis, seed=seed + 2)
+        total_cost = total_hits = 0
+        for spec in queries:
+            cost, hits = measure(pam.store, lambda s=spec: pam.partial_match(s))
+            total_cost += cost
+            total_hits += len(hits)
+        result.query_costs[label] = total_cost / len(queries)
+        result.query_results[label] = total_hits
+    return result
+
+
+def run_sam_queries(sam: SpatialAccessMethod, seed: int = 107) -> MethodResult:
+    """Run the four query types of §7 against a built SAM."""
+    workload = generate_rect_query_workload(seed=seed)
+    result = MethodResult(type(sam).__name__, sam.metrics())
+    total_cost = total_hits = 0
+    for point in workload["points"]:
+        cost, hits = measure(sam.store, lambda p=point: sam.point_query(p))
+        total_cost += cost
+        total_hits += len(hits)
+    result.query_costs["point"] = total_cost / len(workload["points"])
+    result.query_results["point"] = total_hits
+    operations = {
+        "intersection": sam.intersection,
+        "enclosure": sam.enclosure,
+        "containment": sam.containment,
+    }
+    for label, operation in operations.items():
+        total_cost = total_hits = 0
+        for rect in workload["rectangles"]:
+            cost, hits = measure(sam.store, lambda r=rect: operation(r))
+            total_cost += cost
+            total_hits += len(hits)
+        result.query_costs[label] = total_cost / len(workload["rectangles"])
+        result.query_results[label] = total_hits
+    return result
+
+
+def run_pam_experiment(
+    factories: dict[str, Callable[..., PointAccessMethod]],
+    points: Sequence[tuple[float, ...]],
+    seed: int = 101,
+) -> dict[str, MethodResult]:
+    """Build every PAM on the same data file and run the query files."""
+    results = {}
+    for name, factory in factories.items():
+        pam = build_pam(factory, points)
+        result = run_pam_queries(pam, seed=seed)
+        result.name = name
+        results[name] = result
+    return results
+
+
+def run_sam_experiment(
+    factories: dict[str, Callable[..., SpatialAccessMethod]],
+    rects: Sequence[Rect],
+    seed: int = 107,
+) -> dict[str, MethodResult]:
+    """Build every SAM on the same rectangle file and run the queries."""
+    results = {}
+    for name, factory in factories.items():
+        sam = build_sam(factory, rects)
+        result = run_sam_queries(sam, seed=seed)
+        result.name = name
+        results[name] = result
+    return results
+
+
+def normalise(
+    results: dict[str, MethodResult], stick: str
+) -> dict[str, dict[str, float]]:
+    """Express query costs as percentages of the measuring stick."""
+    reference = results[stick].query_costs
+    out: dict[str, dict[str, float]] = {}
+    for name, result in results.items():
+        out[name] = {
+            label: (100.0 * cost / reference[label]) if reference[label] else 0.0
+            for label, cost in result.query_costs.items()
+        }
+    return out

@@ -1,0 +1,197 @@
+"""Public interfaces of point and spatial access methods.
+
+Every structure in :mod:`repro.pam` implements
+:class:`PointAccessMethod`; every structure in :mod:`repro.sam`
+implements :class:`SpatialAccessMethod`.  The bases centralise the
+bookkeeping that the paper's tables report — insertion cost, storage
+utilisation, directory/data ratio and directory height — so that each
+structure only implements its algorithmic core.
+
+Records are ``(key, rid)`` pairs: the key is a point (tuple of floats in
+the unit cube) or a :class:`~repro.geometry.rect.Rect`; the ``rid`` is
+an opaque record identifier (the paper's "record pointer").
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Sequence
+
+from repro.core.stats import BuildMetrics
+from repro.geometry.rect import Rect
+from repro.storage.page import PageKind
+from repro.storage.pagestore import PageStore
+
+__all__ = ["PointAccessMethod", "SpatialAccessMethod"]
+
+
+class _AccessMethodBase(abc.ABC):
+    """Shared bookkeeping for page-based access methods."""
+
+    def __init__(self, store: PageStore, dims: int, record_size: int):
+        if dims < 1:
+            raise ValueError("dims must be positive")
+        self.store = store
+        self.dims = dims
+        self.record_size = record_size
+        self._records = 0
+        self._insert_accesses = 0
+
+    # -- to be provided by each structure --------------------------------
+
+    @property
+    @abc.abstractmethod
+    def directory_height(self) -> int:
+        """Height ``h`` of the directory (0 for a directory-less scheme)."""
+
+    @property
+    @abc.abstractmethod
+    def record_capacity(self) -> int:
+        """Records per data page, derived from the 512-byte layout."""
+
+    # -- metrics -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._records
+
+    def metrics(self) -> BuildMetrics:
+        """The paper's per-structure table figures for the current file."""
+        data_pages = self.store.count_pages(PageKind.DATA)
+        dir_pages = self.store.count_pages(PageKind.DIRECTORY)
+        slots = data_pages * self.record_capacity
+        return BuildMetrics(
+            storage_utilization=100.0 * self._records / slots if slots else 0.0,
+            dir_data_ratio=100.0 * dir_pages / data_pages if data_pages else 0.0,
+            insert_cost=self._insert_accesses / self._records if self._records else 0.0,
+            height=self.directory_height,
+            records=self._records,
+            data_pages=data_pages,
+            directory_pages=dir_pages,
+            pinned_pages=self.store.pinned_count,
+        )
+
+    # -- operation bracketing ----------------------------------------------
+
+    def _measured_insert(self, action) -> None:
+        """Run ``action`` as one insert operation, accumulating its cost."""
+        self.store.begin_operation()
+        before = self.store.stats.total
+        action()
+        self._records += 1
+        self._insert_accesses += self.store.stats.total - before
+
+
+class PointAccessMethod(_AccessMethodBase):
+    """A multidimensional point access method (PAM).
+
+    Subclasses implement :meth:`_insert`, :meth:`_range_query` and
+    optionally :meth:`_exact_match`; the public methods here add the
+    operation bracketing that drives the search-path buffer and the
+    insert-cost metric.
+    """
+
+    # -- core hooks ---------------------------------------------------------
+
+    @abc.abstractmethod
+    def _insert(self, point: tuple[float, ...], rid: object) -> None:
+        """Store ``(point, rid)``; called inside an operation bracket."""
+
+    @abc.abstractmethod
+    def _range_query(self, rect: Rect) -> list[tuple[tuple[float, ...], object]]:
+        """All records whose point lies in the closed ``rect``."""
+
+    def _exact_match(self, point: tuple[float, ...]) -> list[object]:
+        """Record ids stored exactly at ``point``; default via range query."""
+        return [rid for _, rid in self._range_query(Rect.from_point(point))]
+
+    # -- public API -----------------------------------------------------------
+
+    def insert(self, point: Sequence[float], rid: object) -> None:
+        """Insert one record; counts toward the build's insertion cost."""
+        p = tuple(float(c) for c in point)
+        if len(p) != self.dims:
+            raise ValueError(f"point has {len(p)} dims, index has {self.dims}")
+        if not all(0.0 <= c <= 1.0 for c in p):
+            raise ValueError(f"point {p} outside the unit cube")
+        self._measured_insert(lambda: self._insert(p, rid))
+
+    def range_query(self, rect: Rect) -> list[tuple[tuple[float, ...], object]]:
+        """All records in the closed query rectangle."""
+        self.store.begin_operation()
+        return self._range_query(rect)
+
+    def exact_match(self, point: Sequence[float]) -> list[object]:
+        """Record ids stored exactly at ``point``."""
+        self.store.begin_operation()
+        return self._exact_match(tuple(float(c) for c in point))
+
+    def partial_match(self, specified: dict[int, float]) -> list[tuple[tuple[float, ...], object]]:
+        """Partial-match query: exact values on some axes, free on the rest.
+
+        ``specified`` maps axis index to the required value.  Executed as
+        a degenerate range query, which is how the compared structures
+        process partial matches.
+        """
+        lo = [0.0] * self.dims
+        hi = [1.0] * self.dims
+        for axis, value in specified.items():
+            lo[axis] = hi[axis] = value
+        return self.range_query(Rect(tuple(lo), tuple(hi)))
+
+
+class SpatialAccessMethod(_AccessMethodBase):
+    """A spatial access method (SAM) for axis-parallel rectangles.
+
+    The four query types are those of §7 of the paper.  Queries return
+    record ids; rectangles are closed boxes.
+    """
+
+    @abc.abstractmethod
+    def _insert(self, rect: Rect, rid: object) -> None:
+        """Store ``(rect, rid)``; called inside an operation bracket."""
+
+    @abc.abstractmethod
+    def _point_query(self, point: tuple[float, ...]) -> list[object]:
+        """Ids of stored rectangles containing ``point``."""
+
+    @abc.abstractmethod
+    def _intersection(self, query: Rect) -> list[object]:
+        """Ids of stored rectangles intersecting ``query``."""
+
+    @abc.abstractmethod
+    def _containment(self, query: Rect) -> list[object]:
+        """Ids of stored rectangles contained in ``query``."""
+
+    @abc.abstractmethod
+    def _enclosure(self, query: Rect) -> list[object]:
+        """Ids of stored rectangles that enclose ``query``."""
+
+    # -- public API -----------------------------------------------------------
+
+    def insert(self, rect: Rect, rid: object) -> None:
+        """Insert one rectangle; counts toward the build's insertion cost."""
+        if rect.dims != self.dims:
+            raise ValueError(f"rect has {rect.dims} dims, index has {self.dims}")
+        if not Rect.unit(self.dims).contains_rect(rect):
+            raise ValueError(f"{rect} outside the unit cube")
+        self._measured_insert(lambda: self._insert(rect, rid))
+
+    def point_query(self, point: Sequence[float]) -> list[object]:
+        """Ids of stored rectangles containing ``point``."""
+        self.store.begin_operation()
+        return self._point_query(tuple(float(c) for c in point))
+
+    def intersection(self, query: Rect) -> list[object]:
+        """Ids of stored rectangles intersecting ``query``."""
+        self.store.begin_operation()
+        return self._intersection(query)
+
+    def containment(self, query: Rect) -> list[object]:
+        """Ids of stored rectangles contained in ``query``."""
+        self.store.begin_operation()
+        return self._containment(query)
+
+    def enclosure(self, query: Rect) -> list[object]:
+        """Ids of stored rectangles that enclose ``query``."""
+        self.store.begin_operation()
+        return self._enclosure(query)

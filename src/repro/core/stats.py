@@ -1,0 +1,109 @@
+"""Access counters and the build metrics reported in the paper's tables."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["AccessStats", "BuildMetrics"]
+
+
+class AccessStats:
+    """Mutable counters of page reads and writes, split by page kind."""
+
+    __slots__ = ("data_reads", "data_writes", "dir_reads", "dir_writes")
+
+    def __init__(
+        self,
+        data_reads: int = 0,
+        data_writes: int = 0,
+        dir_reads: int = 0,
+        dir_writes: int = 0,
+    ):
+        self.data_reads = data_reads
+        self.data_writes = data_writes
+        self.dir_reads = dir_reads
+        self.dir_writes = dir_writes
+
+    def record_read(self, is_data: bool) -> None:
+        """Count one page read (``is_data`` selects the counter)."""
+        if is_data:
+            self.data_reads += 1
+        else:
+            self.dir_reads += 1
+
+    def record_write(self, is_data: bool) -> None:
+        """Count one page write (``is_data`` selects the counter)."""
+        if is_data:
+            self.data_writes += 1
+        else:
+            self.dir_writes += 1
+
+    @property
+    def reads(self) -> int:
+        """Total page reads."""
+        return self.data_reads + self.dir_reads
+
+    @property
+    def writes(self) -> int:
+        """Total page writes."""
+        return self.data_writes + self.dir_writes
+
+    @property
+    def total(self) -> int:
+        """Total page accesses (reads plus writes), the paper's unit."""
+        return self.reads + self.writes
+
+    def snapshot(self) -> "AccessStats":
+        """An independent copy, for before/after deltas."""
+        return AccessStats(
+            self.data_reads, self.data_writes, self.dir_reads, self.dir_writes
+        )
+
+    def __sub__(self, other: "AccessStats") -> "AccessStats":
+        return AccessStats(
+            self.data_reads - other.data_reads,
+            self.data_writes - other.data_writes,
+            self.dir_reads - other.dir_reads,
+            self.dir_writes - other.dir_writes,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"AccessStats(data_reads={self.data_reads}, data_writes={self.data_writes}, "
+            f"dir_reads={self.dir_reads}, dir_writes={self.dir_writes})"
+        )
+
+
+@dataclass(frozen=True)
+class BuildMetrics:
+    """The per-structure figures of the paper's tables.
+
+    Attributes
+    ----------
+    storage_utilization:
+        ``stor`` — percentage of data-page record slots in use.
+    dir_data_ratio:
+        ``dir/data`` — directory pages per 100 data pages.
+    insert_cost:
+        ``insert`` — average page accesses (reads and writes) per
+        insertion over the whole file build.
+    height:
+        ``h`` — height of the directory after the build (a pinned root
+        or in-core first-level directory counts as level 0, matching the
+        paper where GRID with its in-core first level reports ``h = 2``).
+    records:
+        Number of stored records.
+    data_pages / directory_pages:
+        Live page counts.
+    pinned_pages:
+        Pages held permanently in main memory (GRID's first level).
+    """
+
+    storage_utilization: float
+    dir_data_ratio: float
+    insert_cost: float
+    height: int
+    records: int
+    data_pages: int
+    directory_pages: int
+    pinned_pages: int

@@ -1,0 +1,61 @@
+"""Table 1 of the paper: the classification of multidimensional PAMs.
+
+§2 classifies point access methods by three properties of their page
+regions — *rectangular*, *complete* (the union of all regions spans the
+data space) and *disjoint* — yielding four populated classes:
+
+=====  ===========  ========  ========
+class  rectangular  complete  disjoint
+=====  ===========  ========  ========
+C1     yes          yes       yes
+C2     yes          yes       no
+C3     yes          no        yes
+C4     no           yes       yes
+=====  ===========  ========  ========
+
+This module states the classification for every structure implemented
+in :mod:`repro.pam`; the taxonomy tests verify the *complete* and
+*disjoint* axes empirically against the built structures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Classification", "TABLE_1", "classify"]
+
+
+@dataclass(frozen=True)
+class Classification:
+    """One row of Table 1."""
+
+    name: str
+    klass: str
+    rectangular: bool
+    complete: bool
+    disjoint: bool
+    citation: str
+
+
+#: The implemented structures, classified as in the paper's Table 1.
+TABLE_1 = (
+    Classification("KdBTree", "C1", True, True, True, "[Rob 81]"),
+    Classification("GridFile", "C1", True, True, True, "[NHS 84]"),
+    Classification("TwoLevelGridFile", "C1", True, True, True, "[Hin 85]"),
+    Classification("PlopHashing", "C1", True, True, True, "[KS 88]"),
+    Classification("QuantileHashing", "C1", True, True, True, "[KS 87]"),
+    Classification("TwinGridFile", "C2", True, True, False, "[HSW 88]"),
+    Classification("BuddyTree", "C3", True, False, True, "[SFK 89]"),
+    Classification("MultilevelGridFile", "C3", True, False, True, "[WK 85]"),
+    Classification("ZOrderBTree", "C4", False, True, True, "[OM 84]"),
+    Classification("BangFile", "C4", False, True, True, "[Fre 87]"),
+    Classification("HBTree", "C4", False, True, True, "[LS 89]"),
+)
+
+
+def classify(name: str) -> Classification:
+    """The Table 1 row for the named structure."""
+    for row in TABLE_1:
+        if row.name == name:
+            return row
+    raise KeyError(f"{name!r} is not classified in Table 1")

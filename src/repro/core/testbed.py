@@ -1,0 +1,75 @@
+"""The standardised testbed the paper proposes.
+
+"This comparison is a first step towards a standardized testbed or
+benchmark.  We offer our data and query files to each designer of a new
+point or spatial access method such that he can run his implementation
+in our testbed."
+
+:func:`standard_pam_factories` / :func:`standard_sam_factories` return
+the compared structures under the paper's table abbreviations;
+:func:`testbed_scale` reads the ``REPRO_BENCH_SCALE`` environment
+variable so the benches run at laptop scale by default and at the
+paper's 100 000 records on demand.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable
+
+from repro.core.interfaces import PointAccessMethod, SpatialAccessMethod
+from repro.pam.bang import BangFile
+from repro.pam.buddytree import BuddyTree
+from repro.pam.hbtree import HBTree
+from repro.pam.twolevelgrid import TwoLevelGridFile
+from repro.sam.overlapping import OverlappingPlop
+from repro.sam.rtree import RTree
+from repro.sam.transformation import TransformationSAM
+
+__all__ = [
+    "standard_pam_factories",
+    "standard_sam_factories",
+    "testbed_scale",
+]
+
+#: Default number of records in bench runs; the paper uses 100 000.
+DEFAULT_SCALE = 10_000
+
+
+def testbed_scale() -> int:
+    """Number of records per data file, from ``REPRO_BENCH_SCALE``."""
+    return int(os.environ.get("REPRO_BENCH_SCALE", DEFAULT_SCALE))
+
+
+def standard_pam_factories() -> dict[str, Callable[..., PointAccessMethod]]:
+    """The four compared PAMs plus the BANG* entry-size variant.
+
+    BUDDY+ is not a separate build: the benches derive it by calling
+    :meth:`repro.pam.buddytree.BuddyTree.pack` on the BUDDY file, just
+    as the authors generated it "by computation and simulation".
+    """
+    return {
+        "HB": lambda store, dims=2: HBTree(store, dims),
+        "BANG": lambda store, dims=2: BangFile(store, dims),
+        "BANG*": lambda store, dims=2: BangFile(
+            store, dims, variable_length_entries=True
+        ),
+        "GRID": lambda store, dims=2: TwoLevelGridFile(store, dims),
+        "BUDDY": lambda store, dims=2: BuddyTree(store, dims),
+    }
+
+
+def standard_sam_factories() -> dict[str, Callable[..., SpatialAccessMethod]]:
+    """The four compared SAMs (transformation uses corner representation)."""
+    return {
+        "R-Tree": lambda store, dims=2: RTree(store, dims),
+        "BANG": lambda store, dims=2: TransformationSAM(
+            store,
+            lambda s, dims: BangFile(s, dims, variable_length_entries=True),
+            dims=dims,
+        ),
+        "BUDDY": lambda store, dims=2: TransformationSAM(
+            store, lambda s, dims: BuddyTree(s, dims), dims=dims
+        ),
+        "PLOP": lambda store, dims=2: OverlappingPlop(store, dims),
+    }

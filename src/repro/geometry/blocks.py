@@ -1,0 +1,130 @@
+"""Binary-partition *blocks* of the unit cube.
+
+Both the BANG file and the BUDDY hash tree partition the data space
+``[0,1)^d`` by *recursive halving with cyclic axes*: the first cut halves
+axis 0, the second axis 1, ..., the (d+1)-th halves axis 0 again, and so
+on.  Every region reachable this way is a **block** and is identified by
+the sequence of halving decisions that produces it — a tuple of bits
+where bit ``j`` selects the lower (0) or upper (1) half of axis
+``j % d``.
+
+The empty tuple is the whole data space.  Block ``a`` contains block
+``b`` iff ``a`` is a prefix of ``b``; two blocks are either nested or
+disjoint, which is exactly the property the BANG file's nested regions
+and the BUDDY tree's buddy rectangles rely on.
+
+All coordinates are binary fractions with at most :data:`MAX_DEPTH`
+halvings per block, so the float arithmetic below is exact.
+"""
+
+from __future__ import annotations
+
+import math
+
+from typing import Sequence
+
+from repro.geometry.rect import Rect
+
+__all__ = [
+    "MAX_DEPTH",
+    "Bits",
+    "block_rect",
+    "bits_of_point",
+    "is_prefix",
+    "common_prefix",
+    "min_enclosing_block",
+    "split_axis",
+]
+
+#: Maximum total number of halvings of a block address.  48 bits across
+#: two dimensions gives 24 bits of resolution per axis, far below the 52
+#: mantissa bits of a float, so block boundaries are computed exactly.
+MAX_DEPTH = 48
+
+#: A block address: tuple of 0/1 halving decisions.
+Bits = tuple[int, ...]
+
+# Precomputed negative powers of two, exact as floats.
+_POW2 = [2.0 ** -k for k in range(MAX_DEPTH + 2)]
+
+
+def split_axis(bits: Bits, dims: int) -> int:
+    """Axis that the *next* halving of block ``bits`` cuts."""
+    return len(bits) % dims
+
+
+def block_rect(bits: Bits, dims: int) -> Rect:
+    """The axis-parallel rectangle covered by block ``bits``.
+
+    The rectangle is returned as a closed :class:`Rect`; callers that
+    need half-open semantics (a point on a shared boundary belongs to
+    the *upper* block) should locate points with :func:`bits_of_point`
+    rather than with geometric containment.
+    """
+    lo = [0.0] * dims
+    width = [1.0] * dims
+    for j, bit in enumerate(bits):
+        axis = j % dims
+        width[axis] *= 0.5
+        if bit:
+            lo[axis] += width[axis]
+    hi = tuple(l + w for l, w in zip(lo, width))
+    return Rect(tuple(lo), hi)
+
+
+def bits_of_point(point: Sequence[float], dims: int, depth: int) -> Bits:
+    """Address of the depth-``depth`` block containing ``point``.
+
+    ``point`` must lie in ``[0,1)`` per axis; boundary points belong to
+    the upper half (half-open convention).
+    """
+    if depth > MAX_DEPTH:
+        raise ValueError(f"depth {depth} exceeds MAX_DEPTH={MAX_DEPTH}")
+    # Quantize each axis once; bit k (from the most significant) of the
+    # quantized value is the k-th halving decision for that axis.
+    per_axis = (depth + dims - 1) // dims
+    scale = 1 << per_axis
+    quantized = []
+    for c in point:
+        q = math.floor(c * scale)
+        if q >= scale:  # c == 1.0 or float round-up: clamp into the cube
+            q = scale - 1
+        if q < 0:
+            raise ValueError(f"coordinate {c} outside the unit cube")
+        quantized.append(q)
+    bits = []
+    for j in range(depth):
+        axis = j % dims
+        k = j // dims  # halving index within that axis, MSB first
+        bits.append((quantized[axis] >> (per_axis - 1 - k)) & 1)
+    return tuple(bits)
+
+
+def is_prefix(a: Bits, b: Bits) -> bool:
+    """True iff block ``a`` contains block ``b`` (prefix containment)."""
+    return len(a) <= len(b) and b[: len(a)] == a
+
+
+def common_prefix(a: Bits, b: Bits) -> Bits:
+    """The smallest block containing both ``a`` and ``b``."""
+    n = 0
+    for x, y in zip(a, b):
+        if x != y:
+            break
+        n += 1
+    return a[:n]
+
+
+def min_enclosing_block(rect: Rect, dims: int, max_depth: int = MAX_DEPTH) -> Bits:
+    """Smallest block (longest address) whose rectangle contains ``rect``.
+
+    This is the *buddy rectangle* operation of the BUDDY hash tree: the
+    block is found as the longest common prefix of the addresses of the
+    rectangle's lower and upper corners.  The upper corner is nudged
+    inside the half-open cube so that a rectangle touching ``1.0`` still
+    resolves.
+    """
+    lo_bits = bits_of_point(rect.lo, dims, max_depth)
+    hi_point = tuple(min(c, 1.0 - _POW2[MAX_DEPTH + 1]) for c in rect.hi)
+    hi_bits = bits_of_point(hi_point, dims, max_depth)
+    return common_prefix(lo_bits, hi_bits)

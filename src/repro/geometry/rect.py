@@ -1,0 +1,169 @@
+"""Axis-parallel d-dimensional rectangles.
+
+A :class:`Rect` is the closed box ``[lo[i], hi[i]]`` in every dimension.
+All access methods in this package, including the 4-dimensional
+transformation technique, share this one type.  Instances are immutable
+and hashable so they can serve as dictionary keys in directories and in
+test oracles.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["Rect"]
+
+
+class Rect:
+    """A closed axis-parallel box ``[lo, hi]`` in ``d`` dimensions.
+
+    ``lo`` and ``hi`` are tuples of equal length with ``lo[i] <= hi[i]``.
+    Degenerate boxes (``lo[i] == hi[i]``) are allowed; they represent
+    points and are used as the minimal bounding rectangle of a single
+    record.
+    """
+
+    __slots__ = ("lo", "hi")
+
+    def __init__(self, lo: Sequence[float], hi: Sequence[float]):
+        lo = tuple(lo)
+        hi = tuple(hi)
+        if len(lo) != len(hi):
+            raise ValueError(f"dimension mismatch: {len(lo)} != {len(hi)}")
+        if any(l > h for l, h in zip(lo, hi)):
+            raise ValueError(f"inverted interval in Rect({lo}, {hi})")
+        object.__setattr__(self, "lo", lo)
+        object.__setattr__(self, "hi", hi)
+
+    # Rect is conceptually frozen; block attribute rebinding.
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("Rect is immutable")
+
+    # -- constructors -------------------------------------------------
+
+    @classmethod
+    def unit(cls, dims: int) -> "Rect":
+        """The unit cube ``[0, 1]^dims`` — the paper's data space."""
+        return cls((0.0,) * dims, (1.0,) * dims)
+
+    @classmethod
+    def from_point(cls, point: Sequence[float]) -> "Rect":
+        """The degenerate rectangle covering exactly ``point``."""
+        p = tuple(point)
+        return cls(p, p)
+
+    @classmethod
+    def bounding(cls, rects: Iterable["Rect"]) -> "Rect":
+        """Minimal bounding rectangle of a non-empty set of rectangles."""
+        rects = list(rects)
+        if not rects:
+            raise ValueError("bounding() of an empty set")
+        dims = rects[0].dims
+        lo = tuple(min(r.lo[i] for r in rects) for i in range(dims))
+        hi = tuple(max(r.hi[i] for r in rects) for i in range(dims))
+        return cls(lo, hi)
+
+    @classmethod
+    def bounding_points(cls, points: Iterable[Sequence[float]]) -> "Rect":
+        """Minimal bounding rectangle of a non-empty set of points."""
+        pts = [tuple(p) for p in points]
+        if not pts:
+            raise ValueError("bounding_points() of an empty set")
+        dims = len(pts[0])
+        lo = tuple(min(p[i] for p in pts) for i in range(dims))
+        hi = tuple(max(p[i] for p in pts) for i in range(dims))
+        return cls(lo, hi)
+
+    # -- basic properties ---------------------------------------------
+
+    @property
+    def dims(self) -> int:
+        """Number of dimensions."""
+        return len(self.lo)
+
+    @property
+    def center(self) -> tuple[float, ...]:
+        """Geometric center of the box."""
+        return tuple((l + h) / 2.0 for l, h in zip(self.lo, self.hi))
+
+    def extent(self, axis: int) -> float:
+        """Side length along ``axis``."""
+        return self.hi[axis] - self.lo[axis]
+
+    def area(self) -> float:
+        """d-dimensional volume (the paper calls it *volume*)."""
+        v = 1.0
+        for l, h in zip(self.lo, self.hi):
+            v *= h - l
+        return v
+
+    def margin(self) -> float:
+        """Sum of side lengths — the *margin* minimised by split policies."""
+        return sum(h - l for l, h in zip(self.lo, self.hi))
+
+    # -- predicates ----------------------------------------------------
+
+    def contains_point(self, point: Sequence[float]) -> bool:
+        """True iff ``point`` lies inside the closed box."""
+        return all(l <= c <= h for l, c, h in zip(self.lo, point, self.hi))
+
+    def contains_rect(self, other: "Rect") -> bool:
+        """True iff ``other`` lies entirely inside this box."""
+        return all(l <= ol for l, ol in zip(self.lo, other.lo)) and all(
+            oh <= h for oh, h in zip(other.hi, self.hi)
+        )
+
+    def intersects(self, other: "Rect") -> bool:
+        """True iff the two closed boxes share at least one point."""
+        return all(l <= oh for l, oh in zip(self.lo, other.hi)) and all(
+            ol <= h for ol, h in zip(other.lo, self.hi)
+        )
+
+    # -- constructive operations ----------------------------------------
+
+    def intersection(self, other: "Rect") -> "Rect | None":
+        """The common box, or ``None`` when the boxes are disjoint."""
+        lo = tuple(max(a, b) for a, b in zip(self.lo, other.lo))
+        hi = tuple(min(a, b) for a, b in zip(self.hi, other.hi))
+        if any(l > h for l, h in zip(lo, hi)):
+            return None
+        return Rect(lo, hi)
+
+    def union(self, other: "Rect") -> "Rect":
+        """Minimal bounding rectangle of the two boxes."""
+        lo = tuple(min(a, b) for a, b in zip(self.lo, other.lo))
+        hi = tuple(max(a, b) for a, b in zip(self.hi, other.hi))
+        return Rect(lo, hi)
+
+    def expanded_to_point(self, point: Sequence[float]) -> "Rect":
+        """Minimal bounding rectangle of this box and ``point``."""
+        lo = tuple(min(a, c) for a, c in zip(self.lo, point))
+        hi = tuple(max(a, c) for a, c in zip(self.hi, point))
+        return Rect(lo, hi)
+
+    def enlargement(self, other: "Rect") -> float:
+        """Extra volume needed to also cover ``other`` (R-tree heuristic)."""
+        return self.union(other).area() - self.area()
+
+    def split_at(self, axis: int, coordinate: float) -> tuple["Rect", "Rect"]:
+        """Cut the box with the hyperplane ``x[axis] == coordinate``."""
+        if not self.lo[axis] <= coordinate <= self.hi[axis]:
+            raise ValueError(
+                f"split coordinate {coordinate} outside [{self.lo[axis]}, {self.hi[axis]}]"
+            )
+        left_hi = list(self.hi)
+        left_hi[axis] = coordinate
+        right_lo = list(self.lo)
+        right_lo[axis] = coordinate
+        return Rect(self.lo, tuple(left_hi)), Rect(tuple(right_lo), self.hi)
+
+    # -- dunder -------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Rect) and self.lo == other.lo and self.hi == other.hi
+
+    def __hash__(self) -> int:
+        return hash((self.lo, self.hi))
+
+    def __repr__(self) -> str:
+        return f"Rect({self.lo}, {self.hi})"

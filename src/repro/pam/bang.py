@@ -1,0 +1,564 @@
+"""BANG — the Balanced And Nested Grid file [Fre 87].
+
+The BANG file partitions the data space into binary-partition *blocks*
+(:mod:`repro.geometry.blocks`); the **region** of a block is its
+rectangle minus the rectangles of the blocks nested inside it, so a
+record lives on the data page of the *smallest* block containing it.
+Splitting a full page extracts the sub-block giving the best balance,
+which either halves the page or *nests* a new block inside it — the
+mechanism that adapts to distributions where "almost all of the data
+occurs in a few relatively small cluster points".
+
+The directory is a balanced tree built by exactly the same nesting
+process over directory pages.  Following the paper's §3, the
+implementation does **not** include the "spanning property": a directory
+node's region need not be spanned by its entries, so searches may have
+to probe several branches (the search path can exceed the tree height),
+which is the penalty on small range queries discussed in §5.  Passing
+``spanning=True`` simulates a spanning directory by charging a single
+root-to-leaf path — the guarantee the spanning property provides — and
+is used by the ablation bench.
+
+``variable_length_entries=True`` gives the BANG* variant of Tables
+5.1/5.2: directory entries are charged ``4 + 2 + ceil(bits/8)`` bytes
+instead of the fixed maximum, so directory pages hold more entries.
+
+``minimal_regions=True`` implements the paper's closing suggestion (§9):
+"it might be worthwhile to incorporate this performance improving
+concept [not partitioning empty data space] into other methods, in
+particular into the BANG file".  Every directory entry then also carries
+the minimal bounding rectangle of the data below it (costing
+``2·d·4`` extra bytes per entry), and queries prune any branch whose
+region does not meet the query — BUDDY's key idea grafted onto BANG.
+The ``ABL-BANG-MBR`` bench quantifies the §9 prediction.
+"""
+
+from __future__ import annotations
+
+from repro.core.interfaces import PointAccessMethod
+from repro.geometry import blocks
+from repro.geometry.blocks import Bits
+from repro.geometry.rect import Rect
+from repro.geometry.regioncover import is_covered
+from repro.storage import layout
+from repro.storage.page import PageKind
+from repro.storage.pagestore import PageStore
+
+__all__ = ["BangFile"]
+
+
+class _DataPage:
+    """A data page holding the records of one block region."""
+
+    __slots__ = ("bits", "records")
+
+    def __init__(self, bits: Bits):
+        self.bits = bits
+        self.records: list[tuple[tuple[float, ...], object]] = []
+
+
+class _Entry:
+    """A directory entry: a block, the page it points to and, in the
+    minimal-regions variant, the minimal bounding rectangle below it."""
+
+    __slots__ = ("bits", "pid", "mbr")
+
+    def __init__(self, bits: Bits, pid: int, mbr: Rect | None = None):
+        self.bits = bits
+        self.pid = pid
+        self.mbr = mbr
+
+
+class _DirNode:
+    """A directory page: its own block plus nested child entries."""
+
+    __slots__ = ("bits", "is_leaf", "entries")
+
+    def __init__(self, bits: Bits, is_leaf: bool):
+        self.bits = bits
+        self.is_leaf = is_leaf
+        self.entries: list[_Entry] = []
+
+
+class BangFile(PointAccessMethod):
+    """The BANG file (and, with ``variable_length_entries``, BANG*)."""
+
+    def __init__(
+        self,
+        store: PageStore,
+        dims: int = 2,
+        spanning: bool = False,
+        variable_length_entries: bool = False,
+        minimal_regions: bool = False,
+    ):
+        super().__init__(store, dims, layout.point_record_size(dims))
+        self._capacity = layout.data_page_capacity(self.record_size, store.page_size)
+        self._dir_payload = layout.directory_page_payload(store.page_size)
+        self.spanning = spanning
+        self.variable_length_entries = variable_length_entries
+        self.minimal_regions = minimal_regions
+        first = store.allocate(PageKind.DATA, _DataPage(()))
+        root = _DirNode((), is_leaf=True)
+        root.entries.append(_Entry((), first))
+        self._root_pid = store.allocate(PageKind.DIRECTORY, root)
+        store.pin(self._root_pid)
+        store.write(first)
+        store.write(self._root_pid)
+        self._height = 1
+        #: In-memory mirror of all data blocks, used for split decisions
+        #: (a real implementation reads them off the pages it already
+        #: has in hand) and by the tests' invariant checks.
+        self._data_blocks: dict[Bits, int] = {(): first}
+
+    # -- plumbing -----------------------------------------------------------
+
+    @property
+    def record_capacity(self) -> int:
+        return self._capacity
+
+    @property
+    def directory_height(self) -> int:
+        """Number of directory levels (the tree is balanced)."""
+        return self._height
+
+    def _entry_bytes(self, bits: Bits) -> int:
+        """On-page size of one directory entry."""
+        if self.variable_length_entries:
+            block_bytes = 2 + -(-len(bits) // 8)
+        else:
+            block_bytes = 2 + blocks.MAX_DEPTH // 8
+        region_bytes = 2 * self.dims * layout.COORD_SIZE if self.minimal_regions else 0
+        return layout.POINTER_SIZE + block_bytes + region_bytes
+
+    def _node_bytes(self, node: _DirNode) -> int:
+        return sum(self._entry_bytes(e.bits) for e in node.entries)
+
+    def _node_overflowed(self, node: _DirNode) -> bool:
+        return self._node_bytes(node) > self._dir_payload
+
+    # -- searching ------------------------------------------------------------
+
+    def _point_bits(self, point: tuple[float, ...]) -> Bits:
+        return blocks.bits_of_point(point, self.dims, blocks.MAX_DEPTH)
+
+    def _best_data_entry(self, bits: Bits) -> tuple[int, Bits]:
+        """(data pid, block) of the longest data block that is a prefix of ``bits``.
+
+        Pure in-memory computation on the block mirror; used to simulate
+        the spanning property and for internal routing decisions.
+        """
+        best: Bits | None = None
+        for block in self._data_blocks:
+            if blocks.is_prefix(block, bits):
+                if best is None or len(block) > len(best):
+                    best = block
+        if best is None:
+            raise RuntimeError("block mirror lost the root block")
+        return self._data_blocks[best], best
+
+    def _search_data_page(self, point: tuple[float, ...], prune: bool = False) -> int:
+        """Charged directory search for the data page owning ``point``.
+
+        Without the spanning property this is a multi-branch probe: every
+        entry whose block contains the point may hide a deeper block, so
+        all such branches are read (deepest first).  With ``spanning``
+        the search is the guaranteed single path.
+
+        ``prune`` enables minimal-region pruning (queries only — inserts
+        must find the block-determined target page even when the point
+        falls outside its current region).
+        """
+        bits = self._point_bits(point)
+        if self.spanning:
+            return self._spanning_descent(bits)
+        prune = prune and self.minimal_regions
+        best_pid, best_len = -1, -1
+        stack = [self._root_pid]
+        while stack:
+            node: _DirNode = self.store.read(stack.pop())
+            for entry in node.entries:
+                if not blocks.is_prefix(entry.bits, bits):
+                    continue
+                if prune and (entry.mbr is None or not entry.mbr.contains_point(point)):
+                    continue
+                if node.is_leaf:
+                    if len(entry.bits) > best_len:
+                        best_pid, best_len = entry.pid, len(entry.bits)
+                else:
+                    stack.append(entry.pid)
+        return best_pid
+
+    def _spanning_descent(self, bits: Bits) -> int:
+        """Single-path search as guaranteed by the spanning property.
+
+        The destination is computed from the block mirror; one directory
+        page per level is charged, which is exactly the cost a spanning
+        directory achieves.
+        """
+        target_pid, target_block = self._best_data_entry(bits)
+        leaf = self._locate_leaf_uncharged(target_block)
+        self._charge_path_to(leaf)
+        return target_pid
+
+    def _locate_leaf_uncharged(self, bits: Bits) -> int:
+        """Leaf pid holding (or due to hold) the entry for block ``bits``."""
+        best_leaf, best_len = self._root_pid, -1
+        stack = [self._root_pid]
+        while stack:
+            pid = stack.pop()
+            node: _DirNode = self.store._objects[pid]
+            if node.is_leaf:
+                if blocks.is_prefix(node.bits, bits) and len(node.bits) > best_len:
+                    best_leaf, best_len = pid, len(node.bits)
+                continue
+            for entry in node.entries:
+                if blocks.is_prefix(entry.bits, bits):
+                    stack.append(entry.pid)
+        return best_leaf
+
+    def _charge_path_to(self, leaf_pid: int) -> None:
+        """Charge the root-to-leaf path (used by the spanning simulation)."""
+        path = self._path_to(self._root_pid, leaf_pid)
+        for pid in path:
+            self.store.read(pid)
+
+    def _path_to(self, pid: int, target: int) -> list[int] | None:
+        node: _DirNode = self.store._objects[pid]
+        if pid == target:
+            return [pid]
+        if node.is_leaf:
+            return None
+        for entry in node.entries:
+            sub = self._path_to(entry.pid, target)
+            if sub is not None:
+                return [pid] + sub
+        return None
+
+    def _locate_leaf_charged(self, bits: Bits) -> int:
+        """Charged search for the leaf where an entry for ``bits`` belongs."""
+        if self.spanning:
+            leaf = self._locate_leaf_uncharged(bits)
+            self._charge_path_to(leaf)
+            return leaf
+        best_leaf, best_len = self._root_pid, -1
+        stack = [self._root_pid]
+        while stack:
+            pid = stack.pop()
+            node: _DirNode = self.store.read(pid)
+            if node.is_leaf:
+                if blocks.is_prefix(node.bits, bits) and len(node.bits) > best_len:
+                    best_leaf, best_len = pid, len(node.bits)
+                continue
+            for entry in node.entries:
+                if blocks.is_prefix(entry.bits, bits):
+                    stack.append(entry.pid)
+        return best_leaf
+
+    # -- insertion ------------------------------------------------------------
+
+    def _insert(self, point: tuple[float, ...], rid: object) -> None:
+        pid = self._search_data_page(point)
+        page: _DataPage = self.store.read(pid)
+        page.records.append((point, rid))
+        if len(page.records) <= self._capacity:
+            self.store.write(pid)
+            if self.minimal_regions:
+                self._grow_region(page.bits, point)
+            return
+        old_block = page.bits
+        self._split_data_page(pid, page)
+        if self.minimal_regions:
+            self._refresh_region(old_block)
+
+    def _split_data_page(self, pid: int, page: _DataPage) -> None:
+        sub_block = self._choose_split_block(page)
+        if sub_block is None:
+            self.store.write(pid)  # duplicate-degenerate page: tolerate overflow
+            return
+        inner = [r for r in page.records if self._record_in_block(r[0], sub_block)]
+        page.records = [
+            r for r in page.records if not self._record_in_block(r[0], sub_block)
+        ]
+        new_page = _DataPage(sub_block)
+        new_page.records = inner
+        new_pid = self.store.allocate(PageKind.DATA, new_page)
+        self._data_blocks[sub_block] = new_pid
+        self.store.write(pid)
+        self.store.write(new_pid)
+        mbr = None
+        if self.minimal_regions and inner:
+            mbr = Rect.bounding_points([p for p, _ in inner])
+        self._add_directory_entry(_Entry(sub_block, new_pid, mbr))
+
+    def _record_in_block(self, point: tuple[float, ...], bits: Bits) -> bool:
+        return blocks.is_prefix(bits, self._point_bits(point))
+
+    def _choose_split_block(self, page: _DataPage) -> Bits | None:
+        """Best-balance proper sub-block of the page's block.
+
+        Walks down the halving hierarchy, at each level following the
+        fuller half, and keeps the candidate whose inside/outside record
+        counts are most balanced.  Candidates equal to an existing data
+        block are skipped (the block is already someone else's region).
+        """
+        total = len(page.records)
+        record_bits = [self._point_bits(p) for p, _ in page.records]
+        current = page.bits
+        best: Bits | None = None
+        best_imbalance = total + 1
+        while len(current) < blocks.MAX_DEPTH:
+            zero = current + (0,)
+            count0 = sum(1 for rb in record_bits if blocks.is_prefix(zero, rb))
+            count1 = sum(1 for rb in record_bits if blocks.is_prefix(current, rb)) - count0
+            if count0 == 0 and count1 == 0:
+                break
+            current = zero if count0 >= count1 else current + (1,)
+            inner = count0 if count0 >= count1 else count1
+            if 0 < inner < total and current not in self._data_blocks:
+                imbalance = abs(inner - (total - inner))
+                if imbalance < best_imbalance:
+                    best_imbalance = imbalance
+                    best = current
+            if inner == 0:
+                break
+        return best
+
+    def _add_directory_entry(self, entry: _Entry) -> None:
+        leaf_pid = self._locate_leaf_charged(entry.bits)
+        leaf: _DirNode = self.store.read(leaf_pid)
+        leaf.entries.append(entry)
+        self.store.write(leaf_pid)
+        self._split_directory_if_needed(leaf_pid, leaf)
+
+    def _split_directory_if_needed(self, pid: int, node: _DirNode) -> None:
+        if not self._node_overflowed(node):
+            return
+        sub_block = self._choose_directory_split_block(node)
+        if sub_block is None:
+            return  # cannot split (all entries share one block); tolerate
+        inner = [e for e in node.entries if blocks.is_prefix(sub_block, e.bits)]
+        node.entries = [
+            e for e in node.entries if not blocks.is_prefix(sub_block, e.bits)
+        ]
+        new_node = _DirNode(sub_block, node.is_leaf)
+        new_node.entries = inner
+        new_pid = self.store.allocate(PageKind.DIRECTORY, new_node)
+        self.store.write(pid)
+        self.store.write(new_pid)
+        if pid == self._root_pid:
+            old_root = node
+            new_root = _DirNode((), is_leaf=False)
+            new_root.entries.append(_Entry(old_root.bits, pid, self._node_region(node)))
+            new_root.entries.append(_Entry(sub_block, new_pid, self._node_region(new_node)))
+            self.store.unpin(pid)
+            root_pid = self.store.allocate(PageKind.DIRECTORY, new_root)
+            self._root_pid = root_pid
+            self.store.pin(root_pid)
+            self.store.write(root_pid)
+            self._height += 1
+        else:
+            parent_pid, parent = self._find_parent(pid)
+            parent.entries.append(_Entry(sub_block, new_pid, self._node_region(new_node)))
+            if self.minimal_regions:
+                shrunk = next(e for e in parent.entries if e.pid == pid)
+                shrunk.mbr = self._node_region(node)
+            self.store.write(parent_pid)
+            self._split_directory_if_needed(parent_pid, parent)
+
+    def _choose_directory_split_block(self, node: _DirNode) -> Bits | None:
+        """Best-balance sub-block over the node's entry blocks."""
+        total = len(node.entries)
+        sibling_blocks = self._sibling_blocks(node)
+        current = node.bits
+        best: Bits | None = None
+        best_imbalance = total + 1
+        while len(current) < blocks.MAX_DEPTH:
+            zero = current + (0,)
+            count0 = sum(1 for e in node.entries if blocks.is_prefix(zero, e.bits))
+            in_cur = sum(1 for e in node.entries if blocks.is_prefix(current, e.bits))
+            count1 = in_cur - count0
+            if count0 == 0 and count1 == 0:
+                break
+            current = zero if count0 >= count1 else current + (1,)
+            inner = max(count0, count1)
+            if 0 < inner < total and current not in sibling_blocks:
+                imbalance = abs(inner - (total - inner))
+                if imbalance < best_imbalance:
+                    best_imbalance = imbalance
+                    best = current
+        return best
+
+    def _sibling_blocks(self, node: _DirNode) -> set[Bits]:
+        """Blocks of all directory nodes at the same level as ``node``."""
+        level_nodes = [self.store._objects[self._root_pid]]
+        depth = 0
+        target_depth = self._node_depth(node)
+        while depth < target_depth:
+            nxt = []
+            for n in level_nodes:
+                nxt.extend(self.store._objects[e.pid] for e in n.entries)
+            level_nodes = nxt
+            depth += 1
+        return {n.bits for n in level_nodes}
+
+    def _node_depth(self, node: _DirNode) -> int:
+        def walk(pid: int, depth: int) -> int | None:
+            n: _DirNode = self.store._objects[pid]
+            if n is node:
+                return depth
+            if n.is_leaf:
+                return None
+            for e in n.entries:
+                found = walk(e.pid, depth + 1)
+                if found is not None:
+                    return found
+            return None
+
+        found = walk(self._root_pid, 0)
+        if found is None:
+            raise RuntimeError("node not reachable from root")
+        return found
+
+    def _find_parent(self, pid: int) -> tuple[int, _DirNode]:
+        def walk(current: int) -> tuple[int, _DirNode] | None:
+            node: _DirNode = self.store._objects[current]
+            if node.is_leaf:
+                return None
+            for e in node.entries:
+                if e.pid == pid:
+                    return current, node
+                found = walk(e.pid)
+                if found is not None:
+                    return found
+            return None
+
+        found = walk(self._root_pid)
+        if found is None:
+            raise RuntimeError("parent not found")
+        # Reading the parent is charged: a real split must fetch it.
+        self.store.read(found[0])
+        return found
+
+
+    # -- minimal regions (the §9 extension) --------------------------------------
+
+    def _leaf_entry(self, block: Bits) -> tuple[int, "_DirNode", _Entry]:
+        leaf_pid = self._locate_leaf_uncharged(block)
+        leaf: _DirNode = self.store._objects[leaf_pid]
+        entry = next(e for e in leaf.entries if e.bits == block)
+        return leaf_pid, leaf, entry
+
+    def _grow_region(self, block: Bits, point: tuple[float, ...]) -> None:
+        """Expand the regions on the path to ``block`` to cover ``point``."""
+        leaf_pid, _, entry = self._leaf_entry(block)
+        if entry.mbr is not None and entry.mbr.contains_point(point):
+            return
+        entry.mbr = (
+            Rect.from_point(point)
+            if entry.mbr is None
+            else entry.mbr.expanded_to_point(point)
+        )
+        self.store.write(leaf_pid)
+        path = self._path_to(self._root_pid, leaf_pid) or []
+        for parent_pid, child_pid in zip(reversed(path[:-1]), reversed(path[1:])):
+            parent: _DirNode = self.store._objects[parent_pid]
+            parent_entry = next(e for e in parent.entries if e.pid == child_pid)
+            if parent_entry.mbr is not None and parent_entry.mbr.contains_point(point):
+                break
+            parent_entry.mbr = (
+                Rect.from_point(point)
+                if parent_entry.mbr is None
+                else parent_entry.mbr.expanded_to_point(point)
+            )
+            self.store.write(parent_pid)
+
+    def _refresh_region(self, block: Bits) -> None:
+        """Recompute the region of ``block`` (after a split shrank it)."""
+        leaf_pid, _, entry = self._leaf_entry(block)
+        page: _DataPage = self.store._objects[entry.pid]
+        entry.mbr = (
+            Rect.bounding_points([p for p, _ in page.records])
+            if page.records
+            else None
+        )
+        self.store.write(leaf_pid)
+        self._recompute_regions_upward(leaf_pid)
+
+    def _recompute_regions_upward(self, leaf_pid: int) -> None:
+        path = self._path_to(self._root_pid, leaf_pid) or []
+        for parent_pid, child_pid in zip(reversed(path[:-1]), reversed(path[1:])):
+            parent: _DirNode = self.store._objects[parent_pid]
+            child: _DirNode = self.store._objects[child_pid]
+            parent_entry = next(e for e in parent.entries if e.pid == child_pid)
+            regions = [e.mbr for e in child.entries if e.mbr is not None]
+            new_mbr = Rect.bounding(regions) if regions else None
+            if new_mbr == parent_entry.mbr:
+                break
+            parent_entry.mbr = new_mbr
+            self.store.write(parent_pid)
+
+    def _node_region(self, node: "_DirNode") -> Rect | None:
+        regions = [e.mbr for e in node.entries if e.mbr is not None]
+        return Rect.bounding(regions) if regions else None
+
+    # -- queries ----------------------------------------------------------------
+
+    def _range_query(self, rect: Rect) -> list[tuple[tuple[float, ...], object]]:
+        result: list[tuple[tuple[float, ...], object]] = []
+        stack = [self._root_pid]
+        while stack:
+            node: _DirNode = self.store.read(stack.pop())
+            if node.is_leaf:
+                for entry in self._relevant_data_entries(node, rect):
+                    page: _DataPage = self.store.read(entry.pid)
+                    for point, rid in page.records:
+                        if rect.contains_point(point):
+                            result.append((point, rid))
+            else:
+                # Inner entries cannot be pruned by nesting: a data block
+                # shorter than a nested sibling may keep records inside
+                # the sibling's rectangle in a different subtree.  With
+                # minimal regions, an entry whose region misses the query
+                # can be pruned — the §9 improvement.
+                for entry in node.entries:
+                    if not blocks.block_rect(entry.bits, self.dims).intersects(rect):
+                        continue
+                    if self.minimal_regions and (
+                        entry.mbr is None or not entry.mbr.intersects(rect)
+                    ):
+                        continue
+                    stack.append(entry.pid)
+        return result
+
+    def _relevant_data_entries(self, leaf: _DirNode, rect: Rect) -> list[_Entry]:
+        """Data entries to read: the block overlaps the query and the
+        overlap is not entirely covered by sibling data blocks nested
+        inside it (records in the covered part live on those pages)."""
+        out = []
+        for entry in leaf.entries:
+            if self.minimal_regions and (
+                entry.mbr is None or not entry.mbr.intersects(rect)
+            ):
+                continue
+            block = blocks.block_rect(entry.bits, self.dims)
+            overlap = block.intersection(rect)
+            if overlap is None:
+                continue
+            nested = [
+                blocks.block_rect(other.bits, self.dims)
+                for other in leaf.entries
+                if other is not entry
+                and len(other.bits) > len(entry.bits)
+                and blocks.is_prefix(entry.bits, other.bits)
+            ]
+            if nested and is_covered(overlap, nested):
+                continue
+            out.append(entry)
+        return out
+
+    def _exact_match(self, point: tuple[float, ...]) -> list[object]:
+        pid = self._search_data_page(point, prune=True)
+        if pid < 0:
+            return []
+        page: _DataPage = self.store.read(pid)
+        return [rid for p, rid in page.records if p == point]

@@ -1,0 +1,97 @@
+"""An in-memory kd-tree used as a correctness oracle in tests.
+
+The paper excludes binary trees from its comparison because they do not
+map to secondary storage; here the kd-tree serves a different purpose:
+it answers every query type exactly and independently of the page-based
+structures, so tests can cross-check range, partial-match and exact-match
+results of every PAM against it.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.geometry.rect import Rect
+
+__all__ = ["KdTreeOracle"]
+
+
+class _Node:
+    __slots__ = ("point", "rids", "axis", "left", "right")
+
+    def __init__(self, point: tuple[float, ...], rid: object, axis: int):
+        self.point = point
+        self.rids = [rid]
+        self.axis = axis
+        self.left: "_Node | None" = None
+        self.right: "_Node | None" = None
+
+
+class KdTreeOracle:
+    """A plain kd-tree: discriminator axes cycle with depth.
+
+    Duplicate points accumulate their record ids on one node.
+    """
+
+    def __init__(self, dims: int = 2):
+        if dims < 1:
+            raise ValueError("dims must be positive")
+        self.dims = dims
+        self._root: _Node | None = None
+        self._count = 0
+
+    def __len__(self) -> int:
+        return self._count
+
+    def insert(self, point: Sequence[float], rid: object) -> None:
+        """Add ``(point, rid)``."""
+        point = tuple(float(c) for c in point)
+        if len(point) != self.dims:
+            raise ValueError(f"point has {len(point)} dims, tree has {self.dims}")
+        self._count += 1
+        if self._root is None:
+            self._root = _Node(point, rid, 0)
+            return
+        node = self._root
+        while True:
+            if point == node.point:
+                node.rids.append(rid)
+                return
+            side = "left" if point[node.axis] < node.point[node.axis] else "right"
+            child = getattr(node, side)
+            if child is None:
+                setattr(node, side, _Node(point, rid, (node.axis + 1) % self.dims))
+                return
+            node = child
+
+    def exact_match(self, point: Sequence[float]) -> list[object]:
+        """All record ids stored at exactly ``point``."""
+        point = tuple(float(c) for c in point)
+        node = self._root
+        while node is not None:
+            if point == node.point:
+                return list(node.rids)
+            node = node.left if point[node.axis] < node.point[node.axis] else node.right
+        return []
+
+    def range_query(self, rect: Rect) -> list[tuple[tuple[float, ...], object]]:
+        """All records inside the closed ``rect``."""
+        result: list[tuple[tuple[float, ...], object]] = []
+        stack = [self._root] if self._root else []
+        while stack:
+            node = stack.pop()
+            if rect.contains_point(node.point):
+                result.extend((node.point, rid) for rid in node.rids)
+            if node.left is not None and node.point[node.axis] > rect.lo[node.axis]:
+                stack.append(node.left)
+            if node.right is not None and node.point[node.axis] <= rect.hi[node.axis]:
+                stack.append(node.right)
+        return result
+
+    def partial_match(self, specified: dict[int, float]) -> list[tuple[tuple[float, ...], object]]:
+        """Records matching the specified axis values exactly."""
+        lo = [0.0] * self.dims
+        hi = [1.0] * self.dims
+        for axis, value in specified.items():
+            lo[axis] = hi[axis] = value
+        return self.range_query(Rect(tuple(lo), tuple(hi)))

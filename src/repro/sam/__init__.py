@@ -1,0 +1,26 @@
+"""Spatial access methods for rectangles (Part II of the paper).
+
+The four compared SAMs:
+
+* :class:`repro.sam.rtree.RTree` — the measuring stick (overlapping
+  regions by construction), with Guttman's, Greene's and a
+  minimal-margin split policy.
+* :class:`repro.sam.transformation.TransformationSAM` — any PAM over
+  the 2d-dimensional corner (or center) representation; the paper runs
+  it over BANG and BUDDY.
+* :class:`repro.sam.overlapping.OverlappingPlop` — the
+  overlapping-regions scheme over PLOP hashing per [SK 88].
+* :class:`repro.sam.clipping.ClippingSAM` — redundant z-region
+  decomposition over a B+-tree (the clipping technique; Orenstein's
+  redundancy trade-off).
+* :class:`repro.sam.rplustree.RPlusTree` — the R+-tree [SFR 87], the
+  clipping principle applied to the R-tree itself.
+"""
+
+from repro.sam.clipping import ClippingSAM
+from repro.sam.overlapping import OverlappingPlop
+from repro.sam.rplustree import RPlusTree
+from repro.sam.rtree import RTree
+from repro.sam.transformation import TransformationSAM
+
+__all__ = ["ClippingSAM", "OverlappingPlop", "RPlusTree", "RTree", "TransformationSAM"]

@@ -1,0 +1,17 @@
+"""Simulated secondary storage.
+
+The paper's metric is the number of *disk page accesses*; wall-clock time
+never appears in its tables.  This package therefore provides a counted,
+deterministic page store instead of real I/O:
+
+* :mod:`repro.storage.page` — page identities and kinds.
+* :mod:`repro.storage.pagestore` — the counted store, including the
+  paper's buffering rules (pinned root / in-core first-level directory,
+  plus a buffer holding the most recently accessed search path).
+* :mod:`repro.storage.layout` — 512-byte page capacity arithmetic.
+"""
+
+from repro.storage.page import PageKind
+from repro.storage.pagestore import PageStore
+
+__all__ = ["PageKind", "PageStore"]

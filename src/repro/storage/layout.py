@@ -1,0 +1,64 @@
+"""Capacity arithmetic for 512-byte pages.
+
+Section 3 of the paper fixes the page size for data *and* directory
+pages at 512 bytes ("the lower end of realistic page sizes") and argues
+that small pages make the measured behaviour representative of much
+larger files.  All capacities in this package are derived from the byte
+sizes below rather than hard-coded, so experiments with other page sizes
+(see the page-size ablation bench) stay consistent.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "PAGE_SIZE",
+    "PAGE_HEADER",
+    "POINTER_SIZE",
+    "COORD_SIZE",
+    "point_record_size",
+    "rect_record_size",
+    "data_page_capacity",
+    "directory_page_payload",
+]
+
+#: Default page size in bytes, per §3 of the paper.
+PAGE_SIZE = 512
+
+#: Bytes reserved per page for bookkeeping (kind, count, sibling links).
+PAGE_HEADER = 12
+
+#: Size of a page or record pointer.
+POINTER_SIZE = 4
+
+#: Size of one stored coordinate.  The original Modula-2 implementations
+#: stored 4-byte REALs; this is what makes the paper's directory/data
+#: ratios (2–4 directory pages per 100 data pages) come out: a 2-d point
+#: record is 12 bytes (41 per page) and a rectangle directory entry 20
+#: bytes (25 per page).
+COORD_SIZE = 4
+
+
+def point_record_size(dims: int) -> int:
+    """Bytes of a point record: ``dims`` coordinates plus a record pointer."""
+    return dims * COORD_SIZE + POINTER_SIZE
+
+
+def rect_record_size(dims: int) -> int:
+    """Bytes of a rectangle record: two corners plus a record pointer."""
+    return 2 * dims * COORD_SIZE + POINTER_SIZE
+
+
+def data_page_capacity(record_size: int, page_size: int = PAGE_SIZE) -> int:
+    """How many records of ``record_size`` bytes fit on one data page."""
+    capacity = (page_size - PAGE_HEADER) // record_size
+    if capacity < 2:
+        raise ValueError(
+            f"record of {record_size} bytes leaves capacity {capacity} "
+            f"on a {page_size}-byte page; pages must hold at least 2 records"
+        )
+    return capacity
+
+
+def directory_page_payload(page_size: int = PAGE_SIZE) -> int:
+    """Bytes available for directory entries on one directory page."""
+    return page_size - PAGE_HEADER

@@ -1,0 +1,14 @@
+"""Page identities and kinds for the simulated store."""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["PageKind"]
+
+
+class PageKind(enum.Enum):
+    """What a page holds; the paper reports directory and data pages separately."""
+
+    DATA = "data"
+    DIRECTORY = "directory"

@@ -1,0 +1,146 @@
+"""The counted page store.
+
+A :class:`PageStore` hands out page identifiers, keeps each page's
+in-memory node object, and counts every read and write, classified by
+:class:`~repro.storage.page.PageKind`.  Two buffering rules from §3 of
+the paper are built in:
+
+* **Pinned pages** — the root of a tree directory (or, for the 2-level
+  grid file, the whole first-level directory) resides in main memory;
+  reads and writes of pinned pages are free.  The number of pinned
+  pages is reported so that the paper's remark about GRID's in-core
+  directory ("up to 45 directory pages for 100 000 records") can be
+  reproduced.
+* **Search-path buffer** — the most recently accessed search path stays
+  buffered; re-reading one of its pages costs nothing.  The buffer is
+  re-populated by each operation, so it "dynamically grows and shrinks
+  according to the height of the tree".
+
+Access methods bracket every externally visible operation (insert,
+delete, query) with :meth:`PageStore.begin_operation`; everything read
+or written in between forms the new buffered path.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.stats import AccessStats
+from repro.storage.page import PageKind
+
+__all__ = ["PageStore"]
+
+
+class PageStore:
+    """Allocate, read, write and free simulated disk pages.
+
+    Parameters
+    ----------
+    page_size:
+        Page size in bytes; recorded for reporting.  Capacity decisions
+        are taken by the access methods via :mod:`repro.storage.layout`.
+    """
+
+    def __init__(self, page_size: int = 512, path_buffer_limit: int = 6):
+        self.page_size = page_size
+        #: How many of the most recently accessed pages stay buffered
+        #: across operations — the paper's "last accessed search path"
+        #: (§3).  Six covers a root-to-leaf path of every structure here;
+        #: the 2-level grid file sets it to 2 ("the last two accessed
+        #: pages").
+        self.path_buffer_limit = path_buffer_limit
+        self.stats = AccessStats()
+        self._objects: dict[int, Any] = {}
+        self._kinds: dict[int, PageKind] = {}
+        self._pinned: set[int] = set()
+        self._buffer_prev: set[int] = set()
+        self._buffer_cur: dict[int, None] = {}
+        self._written_this_op: set[int] = set()
+        self._next_id = 0
+
+    # -- page lifecycle -------------------------------------------------
+
+    def allocate(self, kind: PageKind, obj: Any) -> int:
+        """Create a new page holding ``obj`` and return its identifier.
+
+        Allocation itself is free; the page is charged when it is first
+        written.
+        """
+        pid = self._next_id
+        self._next_id += 1
+        self._objects[pid] = obj
+        self._kinds[pid] = kind
+        return pid
+
+    def free(self, pid: int) -> None:
+        """Release a page (after a merge); freeing is not a disk access."""
+        del self._objects[pid]
+        del self._kinds[pid]
+        self._pinned.discard(pid)
+        self._buffer_prev.discard(pid)
+        self._buffer_cur.pop(pid, None)
+        self._written_this_op.discard(pid)
+
+    def kind(self, pid: int) -> PageKind:
+        """The :class:`PageKind` of page ``pid``."""
+        return self._kinds[pid]
+
+    def page_ids(self) -> list[int]:
+        """All live page identifiers (for audits and metrics)."""
+        return list(self._objects)
+
+    def count_pages(self, kind: PageKind) -> int:
+        """Number of live pages of the given kind."""
+        return sum(1 for k in self._kinds.values() if k is kind)
+
+    # -- pinning ---------------------------------------------------------
+
+    def pin(self, pid: int) -> None:
+        """Keep ``pid`` permanently in main memory; its accesses become free."""
+        self._pinned.add(pid)
+
+    def unpin(self, pid: int) -> None:
+        """Undo :meth:`pin`."""
+        self._pinned.discard(pid)
+
+    @property
+    def pinned_count(self) -> int:
+        """How many pages are pinned (reported as main-memory footprint)."""
+        return len(self._pinned)
+
+    # -- operations and the path buffer -----------------------------------
+
+    def begin_operation(self) -> None:
+        """Start a new insert/delete/query.
+
+        The *tail* of the previous operation's accesses — at most
+        :attr:`path_buffer_limit` pages, i.e. its final search path —
+        stays buffered and can be re-read for free.
+        """
+        tail = list(self._buffer_cur)[-self.path_buffer_limit :]
+        self._buffer_prev = set(tail)
+        self._buffer_cur = {}
+        self._written_this_op = set()
+
+    def read(self, pid: int) -> Any:
+        """Fetch a page's object, charging a read unless it is buffered."""
+        obj = self._objects[pid]
+        if pid in self._pinned or pid in self._buffer_cur:
+            return obj
+        self._buffer_cur[pid] = None
+        if pid in self._buffer_prev:
+            return obj
+        self.stats.record_read(self._kinds[pid] is PageKind.DATA)
+        return obj
+
+    def write(self, pid: int) -> None:
+        """Charge a write for page ``pid`` and keep it on the buffered path.
+
+        Repeated writes of the same page within one operation are charged
+        once — a real system flushes each dirty page a single time.
+        """
+        if pid in self._pinned or pid in self._written_this_op:
+            return
+        self._written_this_op.add(pid)
+        self.stats.record_write(self._kinds[pid] is PageKind.DATA)
+        self._buffer_cur[pid] = None

@@ -1,0 +1,169 @@
+"""The seven point data files (F1)–(F7) of the PAM comparison (§3).
+
+Every generator is deterministic in ``(n, seed)``, produces
+duplicate-free 2-d points in the unit cube and preserves the paper's
+*insertion order* characteristics: the cluster file inserts one cluster
+at a time, and the cartography file arrives in quadtree partitioning
+sequence — the two "sorted insertion" situations (C2 in §5) under which
+GRID and BANG degrade while BUDDY stays robust.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads.terrain import generate_cartography_points
+
+__all__ = ["POINT_FILES", "generate_point_file"]
+
+Point = tuple[float, ...]
+
+
+def _dedupe_clip(points: np.ndarray) -> list[Point]:
+    """Clip into [0, 1), drop duplicates, keep order."""
+    clipped = np.clip(points, 0.0, np.nextafter(1.0, 0.0))
+    seen: set[Point] = set()
+    out: list[Point] = []
+    for row in clipped:
+        p = (float(row[0]), float(row[1]))
+        if p not in seen:
+            seen.add(p)
+            out.append(p)
+    return out
+
+
+def _fill(generator, n: int, rng: np.random.Generator) -> list[Point]:
+    """Draw from ``generator`` until ``n`` distinct in-cube points exist."""
+    out: list[Point] = []
+    seen: set[Point] = set()
+    while len(out) < n:
+        for p in _dedupe_clip(generator(max(n - len(out), 16), rng)):
+            if p not in seen:
+                seen.add(p)
+                out.append(p)
+                if len(out) == n:
+                    break
+    return out
+
+
+def diagonal(n: int, seed: int = 1) -> list[Point]:
+    """(F1) uniform on the main diagonal."""
+    rng = np.random.default_rng(seed)
+
+    def draw(k: int, rng: np.random.Generator) -> np.ndarray:
+        u = rng.uniform(0.0, 1.0, k)
+        return np.column_stack([u, u])
+
+    return _fill(draw, n, rng)
+
+
+def sinus(n: int, seed: int = 2) -> list[Point]:
+    """(F2) x uniform, y Gaussian around ``sin(x)`` (σ = 0.1)."""
+    rng = np.random.default_rng(seed)
+
+    def draw(k: int, rng: np.random.Generator) -> np.ndarray:
+        x = rng.uniform(0.0, 1.0, k)
+        y = rng.normal(np.sin(x), 0.1)
+        keep = (y >= 0.0) & (y < 1.0)
+        return np.column_stack([x[keep], y[keep]])
+
+    return _fill(draw, n, rng)
+
+
+def bit_distribution(n: int, seed: int = 3, z: float = 0.15, bits: int = 20) -> list[Point]:
+    """(F3) each coordinate bit is 1 with probability ``z`` (bit(0.15))."""
+    rng = np.random.default_rng(seed)
+    weights = 2.0 ** -(np.arange(1, bits + 1))
+
+    def draw(k: int, rng: np.random.Generator) -> np.ndarray:
+        bx = rng.random((k, bits)) < z
+        by = rng.random((k, bits)) < z
+        return np.column_stack([bx @ weights, by @ weights])
+
+    return _fill(draw, n, rng)
+
+
+def x_parallel(n: int, seed: int = 4) -> list[Point]:
+    """(F4) x uniform, y ~ N(0.5, 0.01)."""
+    rng = np.random.default_rng(seed)
+
+    def draw(k: int, rng: np.random.Generator) -> np.ndarray:
+        x = rng.uniform(0.0, 1.0, k)
+        y = rng.normal(0.5, np.sqrt(0.01), k)
+        keep = (y >= 0.0) & (y < 1.0)
+        return np.column_stack([x[keep], y[keep]])
+
+    return _fill(draw, n, rng)
+
+
+def cluster_points(n: int, seed: int = 5, clusters: int = 10, sigma: float = 0.02) -> list[Point]:
+    """(F5) Gaussian clusters, inserted one cluster after the other.
+
+    "Almost all of the data occurs in a few relatively small cluster
+    points" (§2): the blobs in figure 3.1 are tight, so the per-cluster
+    standard deviation defaults to 0.02, leaving most of the data space
+    empty — the situation that separates BUDDY (which never partitions
+    empty space) from GRID and HB.
+    """
+    rng = np.random.default_rng(seed)
+    centers = rng.uniform(0.15, 0.85, (clusters, 2))
+    per_cluster = [n // clusters] * clusters
+    for i in range(n - sum(per_cluster)):
+        per_cluster[i] += 1
+    out: list[Point] = []
+    seen: set[Point] = set()
+    for center, quota in zip(centers, per_cluster):
+        taken = 0
+        while taken < quota:
+            draw = rng.normal(center, sigma, (max(quota - taken, 16), 2))
+            for p in _dedupe_clip(draw):
+                if p not in seen:
+                    seen.add(p)
+                    out.append(p)
+                    taken += 1
+                    if taken == quota:
+                        break
+    return out
+
+
+def uniform(n: int, seed: int = 6) -> list[Point]:
+    """(F6) independent uniform."""
+    rng = np.random.default_rng(seed)
+
+    def draw(k: int, rng: np.random.Generator) -> np.ndarray:
+        return rng.uniform(0.0, 1.0, (k, 2))
+
+    return _fill(draw, n, rng)
+
+
+def real_data(n: int, seed: int = 7) -> list[Point]:
+    """(F7) cartography substitute: contour-line interpolation points.
+
+    The paper's file holds 81 549 points for a nominal 100 000-record
+    experiment; the same 0.81549 ratio is applied to ``n``.  Points
+    arrive in quadtree partitioning sequence (Morton block order), the
+    sorted-insertion property called out in §3.
+    """
+    count = max(1, round(n * 0.81549))
+    return generate_cartography_points(count, seed=seed)
+
+
+#: name -> generator, in the paper's (F1)–(F7) order.
+POINT_FILES = {
+    "diagonal": diagonal,
+    "sinus": sinus,
+    "bit": bit_distribution,
+    "x_parallel": x_parallel,
+    "cluster": cluster_points,
+    "uniform": uniform,
+    "real": real_data,
+}
+
+
+def generate_point_file(name: str, n: int, seed: int | None = None) -> list[Point]:
+    """Generate the named data file with ``n`` nominal records."""
+    if name not in POINT_FILES:
+        raise KeyError(f"unknown point file {name!r}; choose from {sorted(POINT_FILES)}")
+    if seed is None:
+        return POINT_FILES[name](n)
+    return POINT_FILES[name](n, seed)

@@ -1,0 +1,56 @@
+"""Plain-text exchange format for testbed data and query files.
+
+The paper closes by offering its data and query files "to each designer
+of a new point or spatial access method".  Ours are reproducible from
+seeds, but these helpers write and read them in a simple line format so
+the exact files can be shipped alongside results:
+
+* point file — one ``x y`` pair per line;
+* rectangle file — one ``lox loy hix hiy`` quadruple per line.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.geometry.rect import Rect
+
+__all__ = ["save_points", "load_points", "save_rects", "load_rects"]
+
+
+def save_points(path: str | Path, points: list[tuple[float, ...]]) -> None:
+    """Write a point file (one whitespace-separated point per line)."""
+    with open(path, "w", encoding="ascii") as handle:
+        for point in points:
+            handle.write(" ".join(repr(c) for c in point) + "\n")
+
+
+def load_points(path: str | Path) -> list[tuple[float, ...]]:
+    """Read a point file written by :func:`save_points`."""
+    points = []
+    with open(path, encoding="ascii") as handle:
+        for line in handle:
+            parts = line.split()
+            if parts:
+                points.append(tuple(float(c) for c in parts))
+    return points
+
+
+def save_rects(path: str | Path, rects: list[Rect]) -> None:
+    """Write a rectangle file (``lo... hi...`` per line)."""
+    with open(path, "w", encoding="ascii") as handle:
+        for rect in rects:
+            coords = list(rect.lo) + list(rect.hi)
+            handle.write(" ".join(repr(c) for c in coords) + "\n")
+
+
+def load_rects(path: str | Path) -> list[Rect]:
+    """Read a rectangle file written by :func:`save_rects`."""
+    rects = []
+    with open(path, encoding="ascii") as handle:
+        for line in handle:
+            parts = [float(c) for c in line.split()]
+            if parts:
+                half = len(parts) // 2
+                rects.append(Rect(tuple(parts[:half]), tuple(parts[half:])))
+    return rects

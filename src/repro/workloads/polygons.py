@@ -1,0 +1,45 @@
+"""Convex-polygon workloads for the §9 polygon extension."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry.polygon import ConvexPolygon
+
+__all__ = ["generate_polygon_file"]
+
+
+def generate_polygon_file(
+    n: int, seed: int = 31, max_radius: float = 0.04, sides: tuple[int, int] = (3, 8)
+) -> list[ConvexPolygon]:
+    """``n`` distinct convex polygons inside the unit square.
+
+    Each polygon is a randomly rotated, radius-perturbed regular
+    polygon (3–8 sides), the usual stand-in for digitised map regions.
+    """
+    rng = np.random.default_rng(seed)
+    polygons: list[ConvexPolygon] = []
+    seen: set[ConvexPolygon] = set()
+    while len(polygons) < n:
+        radius = float(rng.uniform(0.005, max_radius))
+        center = rng.uniform(radius, 1.0 - radius, 2)
+        k = int(rng.integers(sides[0], sides[1] + 1))
+        rotation = float(rng.uniform(0.0, 2.0 * np.pi))
+        base = ConvexPolygon.regular((float(center[0]), float(center[1])), radius, k, rotation)
+        # Perturb the radii a little while keeping convexity via the hull.
+        jitter = rng.uniform(0.7, 1.0, len(base.vertices))
+        verts = [
+            (
+                float(center[0] + (x - center[0]) * j),
+                float(center[1] + (y - center[1]) * j),
+            )
+            for (x, y), j in zip(base.vertices, jitter)
+        ]
+        try:
+            polygon = ConvexPolygon(verts)
+        except ValueError:
+            polygon = base
+        if polygon not in seen:
+            seen.add(polygon)
+            polygons.append(polygon)
+    return polygons

@@ -1,0 +1,121 @@
+"""Query file generators (§3 for points, §7 for rectangles).
+
+Point query files per data file:
+
+* (RQ1)–(RQ3): 20 square range queries of volume 0.1 %, 1 % and 10 %,
+  centers uniform;
+* (PMQ1)/(PMQ2): 20 partial-match queries specifying the x- (resp. y-)
+  value, the other axis unspecified.
+
+Rectangle query workload per data file (500 queries): 160 query
+rectangles — 20 "square shaped" and 20 "slim" rectangles for each of
+the sizes 0.1 %, 0.5 %, 1 % and 5 % — used for each of intersection,
+enclosure and containment, plus 20 uniform point queries.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry.rect import Rect
+
+__all__ = [
+    "RANGE_QUERY_VOLUMES",
+    "RECT_QUERY_SIZES",
+    "generate_range_queries",
+    "generate_partial_match_queries",
+    "generate_point_queries",
+    "generate_query_rectangles",
+    "generate_rect_query_workload",
+]
+
+#: The paper's three range-query volumes (fractions of the data space).
+RANGE_QUERY_VOLUMES = (0.001, 0.01, 0.10)
+
+#: The paper's four query-rectangle sizes for the SAM comparison.
+RECT_QUERY_SIZES = (0.001, 0.005, 0.01, 0.05)
+
+
+def generate_range_queries(
+    volume: float, count: int = 20, seed: int = 101, dims: int = 2
+) -> list[Rect]:
+    """Square (hypercube) range queries of the given volume.
+
+    Centers follow a uniform distribution; queries are clipped to the
+    data space, as any implementation must.
+    """
+    rng = np.random.default_rng(seed + int(volume * 100000))
+    side = volume ** (1.0 / dims)
+    queries = []
+    for _ in range(count):
+        center = rng.uniform(0.0, 1.0, dims)
+        lo = np.clip(center - side / 2, 0.0, 1.0)
+        hi = np.clip(center + side / 2, 0.0, 1.0)
+        queries.append(Rect(tuple(lo), tuple(hi)))
+    return queries
+
+
+def generate_partial_match_queries(
+    axis: int, count: int = 20, seed: int = 103, dims: int = 2
+) -> list[dict[int, float]]:
+    """Partial-match queries: a uniform value on ``axis``, rest free."""
+    rng = np.random.default_rng(seed + axis)
+    return [{axis: float(rng.uniform(0.0, 1.0))} for _ in range(count)]
+
+
+def generate_point_queries(
+    count: int = 20, seed: int = 105, dims: int = 2
+) -> list[tuple[float, ...]]:
+    """Uniform point queries (for the SAM point-query type)."""
+    rng = np.random.default_rng(seed)
+    return [tuple(rng.uniform(0.0, 1.0, dims)) for _ in range(count)]
+
+
+def generate_query_rectangles(
+    size: float, shape: str, count: int = 20, seed: int = 107
+) -> list[Rect]:
+    """Query rectangles of one (size, shape) class per §7.
+
+    ``shape`` is ``"square"`` (length uniform in ``[sqrt(size)/2,
+    3*sqrt(size)/2]``) or ``"slim"`` (length uniform in
+    ``[sqrt(size)/10, 19*sqrt(size)/10]``); the width is chosen so the
+    area equals ``size``; centers are uniform.
+    """
+    if shape == "square":
+        lo_f, hi_f = 0.5, 1.5
+    elif shape == "slim":
+        lo_f, hi_f = 0.1, 1.9
+    else:
+        raise ValueError(f"unknown shape {shape!r}")
+    rng = np.random.default_rng(seed + int(size * 100000) + (0 if shape == "square" else 1))
+    root = float(np.sqrt(size))
+    queries = []
+    for _ in range(count):
+        length = float(rng.uniform(lo_f * root, hi_f * root))
+        width = size / length
+        center = rng.uniform(0.0, 1.0, 2)
+        lo = np.clip(center - np.array([length, width]) / 2, 0.0, 1.0)
+        hi = np.clip(center + np.array([length, width]) / 2, 0.0, 1.0)
+        queries.append(Rect(tuple(lo), tuple(hi)))
+    return queries
+
+
+def generate_rect_query_workload(
+    seed: int = 107, queries_per_class: int = 20
+) -> dict[str, list]:
+    """The full 500-query workload of §7 (scaled by ``queries_per_class``).
+
+    Returns a dict with keys ``"rectangles"`` (the 160 query rectangles
+    used by intersection, enclosure and containment) and ``"points"``
+    (the 20 point queries).
+    """
+    rectangles: list[Rect] = []
+    for size in RECT_QUERY_SIZES:
+        for shape in ("square", "slim"):
+            rectangles.extend(
+                generate_query_rectangles(size, shape, queries_per_class, seed)
+            )
+    return {
+        "rectangles": rectangles,
+        "points": generate_point_queries(queries_per_class, seed + 999),
+    }

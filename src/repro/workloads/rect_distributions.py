@@ -1,0 +1,130 @@
+"""The five rectangle data files (F1)–(F5) of the SAM comparison (§7).
+
+Rectangles are characterised by their center and per-axis extension
+from the center; everything is clipped into the unit cube, which some
+of the compared SAMs require.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry.rect import Rect
+
+__all__ = ["RECT_FILES", "generate_rect_file"]
+
+
+def _build(centers: np.ndarray, ext_x: np.ndarray, ext_y: np.ndarray) -> list[Rect]:
+    lo_x = np.clip(centers[:, 0] - ext_x, 0.0, 1.0)
+    hi_x = np.clip(centers[:, 0] + ext_x, 0.0, 1.0)
+    lo_y = np.clip(centers[:, 1] - ext_y, 0.0, 1.0)
+    hi_y = np.clip(centers[:, 1] + ext_y, 0.0, 1.0)
+    out: list[Rect] = []
+    seen: set[tuple] = set()
+    for coords in zip(lo_x, lo_y, hi_x, hi_y):
+        key = tuple(float(c) for c in coords)
+        if key not in seen:
+            seen.add(key)
+            out.append(Rect((key[0], key[1]), (key[2], key[3])))
+    return out
+
+
+def _fill(draw, n: int, rng: np.random.Generator) -> list[Rect]:
+    out: list[Rect] = []
+    seen: set[Rect] = set()
+    while len(out) < n:
+        for rect in draw(max(n - len(out), 16), rng):
+            if rect not in seen:
+                seen.add(rect)
+                out.append(rect)
+                if len(out) == n:
+                    break
+    return out
+
+
+def uniform_small(n: int, seed: int = 11) -> list[Rect]:
+    """(F1) uniform centers, extensions uniform in [0, 0.005]."""
+    rng = np.random.default_rng(seed)
+
+    def draw(k: int, rng: np.random.Generator) -> list[Rect]:
+        centers = rng.uniform(0.0, 1.0, (k, 2))
+        return _build(
+            centers, rng.uniform(0.0, 0.005, k), rng.uniform(0.0, 0.005, k)
+        )
+
+    return _fill(draw, n, rng)
+
+
+def uniform_large(n: int, seed: int = 12) -> list[Rect]:
+    """(F2) uniform centers, extensions uniform in [0, 0.5]."""
+    rng = np.random.default_rng(seed)
+
+    def draw(k: int, rng: np.random.Generator) -> list[Rect]:
+        centers = rng.uniform(0.0, 1.0, (k, 2))
+        return _build(centers, rng.uniform(0.0, 0.5, k), rng.uniform(0.0, 0.5, k))
+
+    return _fill(draw, n, rng)
+
+
+def gaussian_square(n: int, seed: int = 13) -> list[Rect]:
+    """(F3) Gaussian centers N(0.5, 0.25), extensions uniform in [0, 0.05]."""
+    rng = np.random.default_rng(seed)
+
+    def draw(k: int, rng: np.random.Generator) -> list[Rect]:
+        centers = rng.normal(0.5, np.sqrt(0.25), (k, 2))
+        keep = np.all((centers >= 0.0) & (centers <= 1.0), axis=1)
+        centers = centers[keep]
+        k = len(centers)
+        return _build(centers, rng.uniform(0.0, 0.05, k), rng.uniform(0.0, 0.05, k))
+
+    return _fill(draw, n, rng)
+
+
+def gaussian_slim(n: int, seed: int = 14) -> list[Rect]:
+    """(F4) Gaussian centers, x-extension in [0, 0.05], y in [0, 0.25]."""
+    rng = np.random.default_rng(seed)
+
+    def draw(k: int, rng: np.random.Generator) -> list[Rect]:
+        centers = rng.normal(0.5, np.sqrt(0.25), (k, 2))
+        keep = np.all((centers >= 0.0) & (centers <= 1.0), axis=1)
+        centers = centers[keep]
+        k = len(centers)
+        return _build(centers, rng.uniform(0.0, 0.05, k), rng.uniform(0.0, 0.25, k))
+
+    return _fill(draw, n, rng)
+
+
+def diagonal_rects(n: int, seed: int = 15) -> list[Rect]:
+    """(F5) centers Gaussian around the main diagonal, extensions [0, 0.2]."""
+    rng = np.random.default_rng(seed)
+
+    def draw(k: int, rng: np.random.Generator) -> list[Rect]:
+        u = rng.uniform(0.0, 1.0, k)
+        centers = np.column_stack(
+            [u + rng.normal(0.0, 0.05, k), u + rng.normal(0.0, 0.05, k)]
+        )
+        keep = np.all((centers >= 0.0) & (centers <= 1.0), axis=1)
+        centers = centers[keep]
+        k = len(centers)
+        return _build(centers, rng.uniform(0.0, 0.2, k), rng.uniform(0.0, 0.2, k))
+
+    return _fill(draw, n, rng)
+
+
+#: name -> generator, in the paper's (F1)–(F5) order.
+RECT_FILES = {
+    "uniform_small": uniform_small,
+    "uniform_large": uniform_large,
+    "gaussian_square": gaussian_square,
+    "gaussian_slim": gaussian_slim,
+    "diagonal": diagonal_rects,
+}
+
+
+def generate_rect_file(name: str, n: int, seed: int | None = None) -> list[Rect]:
+    """Generate the named rectangle file with ``n`` records."""
+    if name not in RECT_FILES:
+        raise KeyError(f"unknown rect file {name!r}; choose from {sorted(RECT_FILES)}")
+    if seed is None:
+        return RECT_FILES[name](n)
+    return RECT_FILES[name](n, seed)

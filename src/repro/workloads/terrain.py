@@ -1,0 +1,105 @@
+"""Synthetic substitute for the paper's real cartography file (F7).
+
+The original file — 81 549 interpolation points of elevation lines in a
+"rolling-hill-type" area of the Sauerland, provided by the
+Landesvermessungsamt NRW — is not available.  The substitution (see
+DESIGN.md) reproduces its two load-bearing properties:
+
+1. the points lie on the *contour lines* of a smooth rolling-hill
+   terrain, so they form strongly correlated one-dimensional curves in
+   the plane with empty space between them;
+2. the points arrive in *quadtree partitioning order* ("the data is
+   originally stored in a quad-tree, it is inserted in a sorted
+   sequence"), reproduced by ordering along the Morton curve.
+
+The terrain is a fixed sum of smooth cosine bumps; contour points are
+extracted with a marching-squares pass over a sampled height grid.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry.zorder import z_value
+
+__all__ = ["generate_cartography_points", "rolling_hills_height"]
+
+
+def rolling_hills_height(x: np.ndarray, y: np.ndarray, seed: int = 7) -> np.ndarray:
+    """Height field of the synthetic rolling-hill terrain in ``[0, 1]``.
+
+    A sum of randomly placed smooth bumps, normalised to the unit
+    interval; deterministic in ``seed``.
+    """
+    rng = np.random.default_rng(seed)
+    bumps = rng.uniform(0.0, 1.0, (9, 2))
+    widths = rng.uniform(0.08, 0.25, 9)
+    heights = rng.uniform(0.4, 1.0, 9)
+    z = np.zeros_like(x, dtype=float)
+    for (cx, cy), w, h in zip(bumps, widths, heights):
+        z = z + h * np.exp(-((x - cx) ** 2 + (y - cy) ** 2) / (2 * w * w))
+    z -= z.min()
+    peak = z.max()
+    if peak > 0:
+        z /= peak
+    return z
+
+
+def _contour_points(grid: int, levels: int, seed: int) -> list[tuple[float, float]]:
+    """Marching-squares interpolation points of all contour levels."""
+    axis = np.linspace(0.0, 1.0, grid)
+    xs, ys = np.meshgrid(axis, axis, indexing="ij")
+    z = rolling_hills_height(xs, ys, seed=seed)
+    points: list[tuple[float, float]] = []
+    level_values = np.linspace(z.min(), z.max(), levels + 2)[1:-1]
+    for level in level_values:
+        # Edge crossings: horizontal edges (i,j)-(i+1,j) and vertical
+        # edges (i,j)-(i,j+1); the crossing point is linearly
+        # interpolated, exactly how elevation-line interpolation points
+        # are digitised.
+        za, zb = z[:-1, :], z[1:, :]
+        cross = (za < level) != (zb < level)
+        t = (level - za) / np.where(zb != za, zb - za, 1.0)
+        xi = xs[:-1, :] + t * (xs[1:, :] - xs[:-1, :])
+        yi = ys[:-1, :]
+        for cx, cy in zip(xi[cross].ravel(), yi[cross].ravel()):
+            points.append((float(cx), float(cy)))
+        za, zb = z[:, :-1], z[:, 1:]
+        cross = (za < level) != (zb < level)
+        t = (level - za) / np.where(zb != za, zb - za, 1.0)
+        yi = ys[:, :-1] + t * (ys[:, 1:] - ys[:, :-1])
+        xi = xs[:, :-1]
+        for cx, cy in zip(xi[cross].ravel(), yi[cross].ravel()):
+            points.append((float(cx), float(cy)))
+    return points
+
+
+def generate_cartography_points(
+    n: int, seed: int = 7, levels: int = 24
+) -> list[tuple[float, float]]:
+    """``n`` distinct contour points in quadtree (Morton) insertion order."""
+    grid = 96
+    points: list[tuple[float, float]] = []
+    while True:
+        raw = _contour_points(grid, levels, seed)
+        seen: set[tuple[float, float]] = set()
+        points = []
+        for p in raw:
+            q = (min(p[0], np.nextafter(1.0, 0.0)), min(p[1], np.nextafter(1.0, 0.0)))
+            if q not in seen:
+                seen.add(q)
+                points.append(q)
+        if len(points) >= n:
+            break
+        grid = grid * 2
+        if grid > 4096:
+            raise ValueError(f"cannot generate {n} contour points")
+    # Deterministic thinning to exactly n, then quadtree ordering.
+    stride = len(points) / n
+    chosen = [points[int(i * stride)] for i in range(n)]
+    deduped = list(dict.fromkeys(chosen))
+    extra = (p for p in points if p not in set(deduped))
+    while len(deduped) < n:
+        deduped.append(next(extra))
+    deduped.sort(key=lambda p: z_value(p, 2, 16))
+    return deduped

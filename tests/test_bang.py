@@ -1,0 +1,214 @@
+"""Tests for the BANG file (nested block regions, backtracking search)."""
+
+from repro.geometry import blocks
+from repro.geometry.rect import Rect
+from repro.pam.bang import BangFile
+from repro.storage.page import PageKind
+from repro.storage.pagestore import PageStore
+from tests.conftest import (
+    STANDARD_QUERIES,
+    check_pam_against_oracle,
+    make_clustered_points,
+    make_points,
+)
+
+
+def build(points, **kwargs):
+    bang = BangFile(PageStore(), 2, **kwargs)
+    for i, p in enumerate(points):
+        bang.insert(p, i)
+    return bang
+
+
+class TestCorrectness:
+    def test_uniform(self):
+        points = make_points(900)
+        check_pam_against_oracle(build(points), points, STANDARD_QUERIES)
+
+    def test_clusters(self):
+        points = make_clustered_points(800, seed=1)
+        check_pam_against_oracle(build(points), points, STANDARD_QUERIES)
+
+    def test_diagonal(self):
+        points = [(i / 700.0, i / 700.0) for i in range(700)]
+        check_pam_against_oracle(build(points), points, STANDARD_QUERIES)
+
+    def test_spanning_variant_same_answers(self):
+        points = make_clustered_points(600, seed=2)
+        plain = build(points)
+        spanning = build(points, spanning=True)
+        for rect in STANDARD_QUERIES:
+            assert sorted(plain.range_query(rect)) == sorted(
+                spanning.range_query(rect)
+            )
+        for p in points[::71]:
+            assert plain.exact_match(p) == spanning.exact_match(p)
+
+    def test_variable_length_variant_same_answers(self):
+        points = make_points(600, seed=3)
+        star = build(points, variable_length_entries=True)
+        check_pam_against_oracle(star, points, STANDARD_QUERIES)
+
+
+class TestNesting:
+    def test_records_live_in_smallest_enclosing_block(self):
+        bang = build(make_clustered_points(900, seed=4))
+        store = bang.store
+        for pid in store.page_ids():
+            if store.kind(pid) is not PageKind.DATA:
+                continue
+            page = store._objects[pid]
+            for point, _ in page.records:
+                point_bits = bang._point_bits(point)
+                best = max(
+                    (b for b in bang._data_blocks if blocks.is_prefix(b, point_bits)),
+                    key=len,
+                )
+                assert bang._data_blocks[best] == pid
+
+    def test_data_blocks_are_distinct(self):
+        bang = build(make_points(1200, seed=5))
+        assert len(set(bang._data_blocks)) == len(bang._data_blocks)
+
+    def test_nesting_occurs_on_clustered_data(self):
+        """Clusters force proper nesting (a block inside another block)."""
+        bang = build(make_clustered_points(1200, seed=6))
+        blocks_list = sorted(bang._data_blocks, key=len)
+        nested = any(
+            blocks.is_prefix(a, b) and a != b
+            for i, a in enumerate(blocks_list)
+            for b in blocks_list[i + 1 :]
+        )
+        assert nested
+
+    def test_directory_is_balanced(self):
+        bang = build(make_points(1500, seed=7))
+
+        def leaf_depths(pid, depth):
+            node = bang.store._objects[pid]
+            if node.is_leaf:
+                return {depth}
+            out = set()
+            for e in node.entries:
+                out |= leaf_depths(e.pid, depth + 1)
+            return out
+
+        assert len(leaf_depths(bang._root_pid, 1)) == 1
+
+
+class TestNonSpanningPenalty:
+    def test_exact_match_can_exceed_height(self):
+        """Without the spanning property the probe may touch extra pages."""
+        points = make_clustered_points(2000, seed=8)
+        bang = build(points)
+        worst = 0
+        for p in points[::191]:
+            bang.store.begin_operation()
+            bang.store.begin_operation()
+            before = bang.store.stats.total
+            bang.exact_match(p)
+            worst = max(worst, bang.store.stats.total - before)
+        # Height + 1 would be a perfect single path (dir levels + data page,
+        # root pinned); the multi-branch probe can exceed it.
+        assert worst >= bang.directory_height + 1
+
+    def test_spanning_charges_single_path(self):
+        points = make_clustered_points(2000, seed=8)
+        bang = build(points, spanning=True)
+        for p in points[::397]:
+            bang.store.begin_operation()
+            bang.store.begin_operation()
+            before = bang.store.stats.total
+            bang.exact_match(p)
+            cost = bang.store.stats.total - before
+            assert cost <= bang.directory_height + 1
+
+    def test_variable_length_entries_use_fewer_directory_pages(self):
+        points = make_points(3000, seed=9)
+        plain = build(points)
+        star = build(points, variable_length_entries=True)
+        assert (
+            star.store.count_pages(PageKind.DIRECTORY)
+            <= plain.store.count_pages(PageKind.DIRECTORY)
+        )
+
+
+class TestCapacities:
+    def test_data_capacity_never_exceeded(self):
+        bang = build(make_points(800, seed=10))
+        for pid in bang.store.page_ids():
+            if bang.store.kind(pid) is PageKind.DATA:
+                assert len(bang.store._objects[pid].records) <= bang.record_capacity
+
+    def test_directory_nodes_fit_their_page(self):
+        bang = build(make_points(2000, seed=11))
+        for pid in bang.store.page_ids():
+            if bang.store.kind(pid) is PageKind.DIRECTORY:
+                node = bang.store._objects[pid]
+                assert bang._node_bytes(node) <= bang._dir_payload
+
+
+class TestMinimalRegions:
+    """The §9 extension: BUDDY's empty-space concept grafted onto BANG."""
+
+    def test_correctness(self):
+        points = make_clustered_points(900, seed=20)
+        bang = build(points, minimal_regions=True)
+        check_pam_against_oracle(bang, points, STANDARD_QUERIES)
+
+    def test_correctness_diagonal(self):
+        points = [(i / 600.0, i / 600.0) for i in range(600)]
+        bang = build(points, minimal_regions=True)
+        check_pam_against_oracle(bang, points, STANDARD_QUERIES)
+
+    def test_combines_with_variable_length_entries(self):
+        points = make_points(700, seed=21)
+        bang = build(points, minimal_regions=True, variable_length_entries=True)
+        check_pam_against_oracle(bang, points, STANDARD_QUERIES)
+
+    def test_regions_bound_their_records(self):
+        bang = build(make_clustered_points(800, seed=22), minimal_regions=True)
+
+        def walk(pid):
+            node = bang.store._objects[pid]
+            if node.is_leaf:
+                for entry in node.entries:
+                    page = bang.store._objects[entry.pid]
+                    for point, _ in page.records:
+                        assert entry.mbr is not None
+                        assert entry.mbr.contains_point(point)
+            else:
+                for entry in node.entries:
+                    child = bang.store._objects[entry.pid]
+                    for sub in child.entries:
+                        if sub.mbr is not None:
+                            assert entry.mbr is not None
+                            assert entry.mbr.contains_rect(sub.mbr)
+                    walk(entry.pid)
+
+        walk(bang._root_pid)
+
+    def test_empty_space_queries_prune_data_reads(self):
+        points = make_clustered_points(900, seed=23)
+        empty = Rect((0.001, 0.001), (0.004, 0.004))
+        points = [p for p in points if not empty.contains_point(p)]
+        plain = build(points)
+        minimal = build(points, minimal_regions=True)
+
+        def cost(bang):
+            bang.store.begin_operation()
+            bang.store.begin_operation()
+            before = bang.store.stats.data_reads
+            assert bang.range_query(empty) == []
+            return bang.store.stats.data_reads - before
+
+        assert cost(minimal) <= cost(plain)
+
+    def test_entry_size_cost(self):
+        plain = build(make_points(2000, seed=24))
+        minimal = build(make_points(2000, seed=24), minimal_regions=True)
+        from repro.storage.page import PageKind
+
+        assert minimal.store.count_pages(PageKind.DIRECTORY) >= plain.store.count_pages(
+            PageKind.DIRECTORY
+        )

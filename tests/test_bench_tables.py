@@ -1,0 +1,50 @@
+"""Tests for paper-style table rendering."""
+
+from repro.bench.tables import (
+    format_absolute_table,
+    format_metrics_table,
+    format_normalised_table,
+)
+from repro.core.comparison import MethodResult
+from repro.core.stats import BuildMetrics
+
+
+def _result(name, costs):
+    metrics = BuildMetrics(70.2, 2.30, 3.06, 3, 1000, 35, 1, 1)
+    return MethodResult(name, metrics, dict(costs), {k: 1 for k in costs})
+
+
+class TestTables:
+    def setup_method(self):
+        costs = {"a": 10.0, "b": 20.0}
+        self.results = {
+            "GRID": _result("GRID", costs),
+            "BUDDY": _result("BUDDY", {"a": 5.0, "b": 30.0}),
+        }
+        self.normalised = {
+            "GRID": {"a": 100.0, "b": 100.0},
+            "BUDDY": {"a": 50.0, "b": 150.0},
+        }
+
+    def test_normalised_table(self):
+        text = format_normalised_table(
+            "Uniform Distribution", self.results, self.normalised, ("a", "b")
+        )
+        lines = text.splitlines()
+        assert lines[0] == "Uniform Distribution"
+        assert "stor" in lines[1] and "dir/data" in lines[1]
+        grid_row = next(l for l in lines if l.startswith("GRID"))
+        assert "100.0" in grid_row and "70.2" in grid_row and "2.30" in grid_row
+        buddy_row = next(l for l in lines if l.startswith("BUDDY"))
+        assert "50.0" in buddy_row and "150.0" in buddy_row
+
+    def test_absolute_table(self):
+        text = format_absolute_table("Gaussianslim", self.results, ("a", "b"))
+        assert "Gaussianslim" in text
+        assert "10.0" in text and "30.0" in text
+
+    def test_metrics_table(self):
+        text = format_metrics_table("summary", self.results)
+        assert "summary" in text
+        assert "3.06" in text
+        assert "36" in text  # data + directory pages

@@ -1,0 +1,87 @@
+"""Tests for the clipping SAM (redundant z-region decomposition)."""
+
+import pytest
+
+from repro.geometry.rect import Rect
+from repro.sam.clipping import ClippingSAM
+from repro.storage.pagestore import PageStore
+from tests.conftest import (
+    STANDARD_POINTS,
+    STANDARD_QUERIES,
+    check_sam_against_oracle,
+    make_rects,
+)
+
+
+def build(rects, redundancy=4):
+    sam = ClippingSAM(PageStore(), 2, redundancy=redundancy)
+    for i, r in enumerate(rects):
+        sam.insert(r, i)
+    return sam
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("redundancy", [1, 2, 4, 8])
+    def test_all_query_types(self, redundancy):
+        rects = make_rects(400, seed=1)
+        sam = build(rects, redundancy=redundancy)
+        check_sam_against_oracle(sam, rects, STANDARD_QUERIES, STANDARD_POINTS)
+
+    def test_large_rects(self):
+        rects = make_rects(300, seed=2, max_extent=0.4)
+        sam = build(rects)
+        check_sam_against_oracle(sam, rects, STANDARD_QUERIES, STANDARD_POINTS)
+
+    def test_results_never_duplicated(self):
+        """Redundant storage must not yield redundant answers."""
+        rects = make_rects(400, seed=3, max_extent=0.3)
+        sam = build(rects, redundancy=8)
+        for query in STANDARD_QUERIES:
+            hits = sam.intersection(query)
+            assert len(hits) == len(set(hits))
+
+    def test_invalid_redundancy(self):
+        with pytest.raises(ValueError):
+            ClippingSAM(PageStore(), 2, redundancy=0)
+
+
+class TestRedundancyTradeOff:
+    def test_redundancy_bounded_by_budget(self):
+        rects = make_rects(400, seed=4, max_extent=0.2)
+        for budget in (1, 2, 4):
+            sam = build(rects, redundancy=budget)
+            assert sam.stored_regions <= budget * len(rects)
+            assert sam.stored_regions >= len(rects)
+
+    def test_redundancy_one_stores_each_object_once(self):
+        rects = make_rects(300, seed=5)
+        sam = build(rects, redundancy=1)
+        assert sam.stored_regions == len(rects)
+
+    def test_higher_redundancy_costs_more_storage(self):
+        """Orenstein's trade-off, storage side."""
+        rects = make_rects(800, seed=6, max_extent=0.2)
+        low = build(rects, redundancy=1)
+        high = build(rects, redundancy=8)
+        assert high.stored_regions > low.stored_regions
+        assert high.metrics().data_pages >= low.metrics().data_pages
+
+    def test_higher_redundancy_improves_small_query_precision(self):
+        """Orenstein's trade-off, retrieval side: finer decomposition
+        means less dead space per entry, so small point queries touch
+        fewer false candidates."""
+        rects = make_rects(1500, seed=7, max_extent=0.15)
+        low = build(rects, redundancy=1)
+        high = build(rects, redundancy=8)
+
+        def probe_cost(sam):
+            total = 0
+            for point in [(i / 17.0, (i * 7 % 17) / 17.0) for i in range(17)]:
+                sam.store.begin_operation()
+                sam.store.begin_operation()
+                before = sam.store.stats.total
+                sam.point_query(point)
+                total += sam.store.stats.total - before
+            return total
+
+        assert probe_cost(high) <= probe_cost(low) * 1.5

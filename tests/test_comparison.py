@@ -1,0 +1,111 @@
+"""Tests for the experiment driver and the standardised testbed."""
+
+import pytest
+
+from repro.core.comparison import (
+    PAM_QUERY_TYPES,
+    SAM_QUERY_TYPES,
+    build_pam,
+    build_sam,
+    measure,
+    normalise,
+    run_pam_experiment,
+    run_sam_experiment,
+)
+from repro.core.testbed import (
+    standard_pam_factories,
+    standard_sam_factories,
+)
+from repro.core.testbed import testbed_scale as scale_from_env
+from repro.pam.buddytree import BuddyTree
+from repro.sam.rtree import RTree
+from repro.storage.pagestore import PageStore
+from repro.workloads.distributions import generate_point_file
+from repro.workloads.rect_distributions import generate_rect_file
+
+
+class TestMeasure:
+    def test_measure_returns_delta_and_result(self):
+        store = PageStore()
+        pam = BuddyTree(store, 2)
+        for i in range(300):
+            pam.insert((i / 307.0, (i * 11 % 307) / 307.0), i)
+        from repro.geometry.rect import Rect
+
+        cost, hits = measure(store, lambda: pam.range_query(Rect.unit(2)))
+        assert cost > 0
+        assert len(hits) == 300
+
+
+class TestDrivers:
+    def test_pam_experiment_end_to_end(self):
+        points = generate_point_file("uniform", 800)
+        results = run_pam_experiment(
+            {"BUDDY": lambda store, dims=2: BuddyTree(store, dims)}, points
+        )
+        result = results["BUDDY"]
+        assert set(result.query_costs) == set(PAM_QUERY_TYPES)
+        assert all(cost >= 0 for cost in result.query_costs.values())
+        assert result.metrics.records == 800
+        assert result.query_average == pytest.approx(
+            sum(result.query_costs.values()) / 5
+        )
+
+    def test_sam_experiment_end_to_end(self):
+        rects = generate_rect_file("uniform_small", 400)
+        results = run_sam_experiment(
+            {"R-Tree": lambda store, dims=2: RTree(store, dims)}, rects
+        )
+        result = results["R-Tree"]
+        assert set(result.query_costs) == set(SAM_QUERY_TYPES)
+        assert result.metrics.records == 400
+
+    def test_same_points_same_hits(self):
+        """Every structure must return identical result counts."""
+        points = generate_point_file("cluster", 700)
+        results = run_pam_experiment(standard_pam_factories(), points)
+        baselines = results["GRID"].query_results
+        for name, result in results.items():
+            assert result.query_results == baselines, name
+
+    def test_sam_hits_agree(self):
+        rects = generate_rect_file("gaussian_square", 350)
+        results = run_sam_experiment(standard_sam_factories(), rects)
+        baselines = results["R-Tree"].query_results
+        for name, result in results.items():
+            assert result.query_results == baselines, name
+
+    def test_build_helpers(self):
+        pam = build_pam(
+            lambda store, dims=2: BuddyTree(store, dims),
+            generate_point_file("uniform", 100),
+        )
+        assert len(pam) == 100
+        sam = build_sam(
+            lambda store, dims=2: RTree(store, dims),
+            generate_rect_file("uniform_small", 100),
+        )
+        assert len(sam) == 100
+
+
+class TestNormalise:
+    def test_stick_is_100(self):
+        points = generate_point_file("uniform", 600)
+        results = run_pam_experiment(standard_pam_factories(), points)
+        norm = normalise(results, "GRID")
+        for label in PAM_QUERY_TYPES:
+            assert norm["GRID"][label] == pytest.approx(100.0)
+        for name in results:
+            assert set(norm[name]) == set(PAM_QUERY_TYPES)
+
+
+class TestTestbed:
+    def test_factory_names(self):
+        assert set(standard_pam_factories()) == {"HB", "BANG", "BANG*", "GRID", "BUDDY"}
+        assert set(standard_sam_factories()) == {"R-Tree", "BANG", "BUDDY", "PLOP"}
+
+    def test_scale_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "4321")
+        assert scale_from_env() == 4321
+        monkeypatch.delenv("REPRO_BENCH_SCALE")
+        assert scale_from_env() == 10_000

@@ -1,0 +1,104 @@
+"""Dimension-genericity tests: every PAM works in 1, 3 and 4 dimensions.
+
+The transformation technique depends on 4-dimensional operation (2d-dim
+points for d-dim rectangles); the paper's taxonomy is stated for
+arbitrary d.  Each structure is exercised against a linear-scan oracle
+in the non-default dimensionalities.
+"""
+
+import random
+
+import pytest
+
+from repro.core.testbed import standard_pam_factories
+from repro.geometry.rect import Rect
+from repro.pam.kdbtree import KdBTree
+from repro.pam.plop import PlopHashing
+from repro.pam.zbtree import ZOrderBTree
+from repro.storage.pagestore import PageStore
+
+ALL_FACTORIES = dict(standard_pam_factories())
+ALL_FACTORIES["PLOP"] = lambda store, dims=2: PlopHashing(store, dims)
+ALL_FACTORIES["ZB"] = lambda store, dims=2: ZOrderBTree(store, dims)
+ALL_FACTORIES["KDB"] = lambda store, dims=2: KdBTree(store, dims)
+
+
+def make_points(n: int, dims: int, seed: int = 0):
+    rng = random.Random(seed)
+    points = []
+    seen = set()
+    while len(points) < n:
+        p = tuple(rng.random() for _ in range(dims))
+        if p not in seen:
+            seen.add(p)
+            points.append(p)
+    return points
+
+
+def queries(dims: int):
+    return [
+        Rect((0.0,) * dims, (1.0,) * dims),
+        Rect((0.2,) * dims, (0.6,) * dims),
+        Rect((0.45,) * dims, (0.55,) * dims),
+    ]
+
+
+@pytest.mark.parametrize("dims", [1, 3, 4])
+@pytest.mark.parametrize("name", sorted(ALL_FACTORIES))
+def test_pam_in_d_dimensions(name, dims):
+    points = make_points(400, dims, seed=dims)
+    pam = ALL_FACTORIES[name](PageStore(), dims=dims)
+    for i, p in enumerate(points):
+        pam.insert(p, i)
+    for rect in queries(dims):
+        expected = sorted(
+            (p, i) for i, p in enumerate(points) if rect.contains_point(p)
+        )
+        assert sorted(pam.range_query(rect)) == expected, name
+    for p in points[::71]:
+        assert pam.exact_match(p) == [points.index(p)]
+    assert pam.partial_match({0: points[3][0]})
+
+
+@pytest.mark.parametrize("dims", [1, 3])
+def test_sam_in_d_dimensions(dims):
+    from repro.sam.rtree import RTree
+    from repro.sam.transformation import TransformationSAM
+    from repro.pam.buddytree import BuddyTree
+
+    rng = random.Random(dims)
+    rects = []
+    seen = set()
+    while len(rects) < 250:
+        center = [rng.random() for _ in range(dims)]
+        ext = [rng.random() * 0.1 for _ in range(dims)]
+        rect = Rect(
+            tuple(max(0.0, c - e) for c, e in zip(center, ext)),
+            tuple(min(1.0, c + e) for c, e in zip(center, ext)),
+        )
+        if rect not in seen:
+            seen.add(rect)
+            rects.append(rect)
+    for factory in (
+        lambda s: RTree(s, dims),
+        lambda s: TransformationSAM(
+            s, lambda st, dims: BuddyTree(st, dims), dims=dims
+        ),
+    ):
+        sam = factory(PageStore())
+        for i, r in enumerate(rects):
+            sam.insert(r, i)
+        query = Rect((0.3,) * dims, (0.7,) * dims)
+        assert sorted(sam.intersection(query)) == sorted(
+            i for i, r in enumerate(rects) if r.intersects(query)
+        )
+        assert sorted(sam.containment(query)) == sorted(
+            i for i, r in enumerate(rects) if query.contains_rect(r)
+        )
+        assert sorted(sam.enclosure(query)) == sorted(
+            i for i, r in enumerate(rects) if r.contains_rect(query)
+        )
+        probe = (0.5,) * dims
+        assert sorted(sam.point_query(probe)) == sorted(
+            i for i, r in enumerate(rects) if r.contains_point(probe)
+        )

@@ -1,0 +1,76 @@
+"""Tests for the public access-method interfaces and their bookkeeping."""
+
+import pytest
+
+from repro.geometry.rect import Rect
+from repro.pam.buddytree import BuddyTree
+from repro.sam.rtree import RTree
+from repro.storage.pagestore import PageStore
+
+
+class TestPointAccessMethodContract:
+    def test_rejects_wrong_dimensionality(self, store):
+        pam = BuddyTree(store, 2)
+        with pytest.raises(ValueError, match="dims"):
+            pam.insert((0.5, 0.5, 0.5), 1)
+
+    def test_rejects_out_of_cube(self, store):
+        pam = BuddyTree(store, 2)
+        with pytest.raises(ValueError, match="outside"):
+            pam.insert((1.5, 0.5), 1)
+
+    def test_len_counts_records(self, store):
+        pam = BuddyTree(store, 2)
+        assert len(pam) == 0
+        pam.insert((0.1, 0.2), "a")
+        pam.insert((0.3, 0.4), "b")
+        assert len(pam) == 2
+
+    def test_insert_cost_accumulates(self, store):
+        # Until the first split the whole file is the pinned root page,
+        # so inserts are free; afterwards each insert costs accesses.
+        pam = BuddyTree(store, 2)
+        pam.insert((0.1, 0.2), "a")
+        assert pam.metrics().insert_cost == 0.0
+        for i in range(200):
+            pam.insert((i / 211.0, (i * 7 % 211) / 211.0), 100 + i)
+        assert pam.metrics().insert_cost > 0
+
+    def test_partial_match_is_degenerate_range(self, store):
+        pam = BuddyTree(store, 2)
+        pam.insert((0.5, 0.1), 1)
+        pam.insert((0.5, 0.9), 2)
+        pam.insert((0.6, 0.1), 3)
+        hits = pam.partial_match({0: 0.5})
+        assert sorted(rid for _, rid in hits) == [1, 2]
+        hits = pam.partial_match({1: 0.1})
+        assert sorted(rid for _, rid in hits) == [1, 3]
+
+    def test_metrics_fields(self, store):
+        pam = BuddyTree(store, 2)
+        for i in range(200):
+            pam.insert((i / 211.0, (i * 7 % 211) / 211.0), i)
+        m = pam.metrics()
+        assert m.records == 200
+        assert 0 < m.storage_utilization <= 100.0
+        assert m.data_pages > 0
+        assert m.insert_cost > 0
+
+
+class TestSpatialAccessMethodContract:
+    def test_rejects_out_of_cube_rect(self, store):
+        sam = RTree(store, 2)
+        with pytest.raises(ValueError, match="outside"):
+            sam.insert(Rect((0.5, 0.5), (1.5, 1.5)), 1)
+
+    def test_rejects_wrong_dims(self, store):
+        sam = RTree(store, 2)
+        with pytest.raises(ValueError, match="dims"):
+            sam.insert(Rect((0.1,), (0.2,)), 1)
+
+    def test_queries_on_empty_index(self, store):
+        sam = RTree(store, 2)
+        assert sam.point_query((0.5, 0.5)) == []
+        assert sam.intersection(Rect.unit(2)) == []
+        assert sam.containment(Rect.unit(2)) == []
+        assert sam.enclosure(Rect((0.4, 0.4), (0.6, 0.6))) == []

@@ -1,0 +1,122 @@
+"""Tests for the k-d-B tree (class C1: rectangular, complete, disjoint)."""
+
+from repro.geometry.rect import Rect
+from repro.pam.kdbtree import KdBTree
+from repro.storage.page import PageKind
+from repro.storage.pagestore import PageStore
+from tests.conftest import (
+    STANDARD_QUERIES,
+    check_pam_against_oracle,
+    make_clustered_points,
+    make_points,
+)
+
+
+def build(points):
+    tree = KdBTree(PageStore(), 2)
+    for i, p in enumerate(points):
+        tree.insert(p, i)
+    return tree
+
+
+def walk_regions(tree):
+    """Yield (region rect, node, is_leaf_level) for every region page."""
+    if tree._root_is_leaf:
+        return
+    stack = [(Rect.unit(2), tree._root_pid)]
+    while stack:
+        region, pid = stack.pop()
+        node = tree.store._objects[pid]
+        yield region, node
+        if not node.leaf_children:
+            stack.extend(zip(node.rects, node.pids))
+
+
+class TestCorrectness:
+    def test_uniform(self):
+        points = make_points(900)
+        check_pam_against_oracle(build(points), points, STANDARD_QUERIES)
+
+    def test_clusters(self):
+        points = make_clustered_points(800, seed=1)
+        check_pam_against_oracle(build(points), points, STANDARD_QUERIES)
+
+    def test_diagonal(self):
+        points = [(i / 700.0, i / 700.0) for i in range(700)]
+        check_pam_against_oracle(build(points), points, STANDARD_QUERIES)
+
+    def test_sorted_insertion(self):
+        points = sorted(make_points(700, seed=2))
+        check_pam_against_oracle(build(points), points, STANDARD_QUERIES)
+
+    def test_points_on_boundaries(self):
+        points = [(i / 16.0, j / 16.0) for i in range(16) for j in range(16)]
+        check_pam_against_oracle(build(points), points, STANDARD_QUERIES)
+
+
+class TestClassC1Invariants:
+    def test_regions_partition_completely(self):
+        """Class C1: child regions are disjoint and span the region."""
+        tree = build(make_clustered_points(1500, seed=3))
+        for region, node in walk_regions(tree):
+            total = sum(r.area() for r in node.rects)
+            assert abs(total - region.area()) < 1e-9
+            for i, a in enumerate(node.rects):
+                assert region.contains_rect(a)
+                for b in node.rects[i + 1 :]:
+                    inter = a.intersection(b)
+                    assert inter is None or inter.area() == 0.0
+
+    def test_balanced_leaf_depth(self):
+        tree = build(make_points(1500, seed=4))
+        depths = set()
+        stack = [(tree._root_pid, 0)]
+        while stack:
+            pid, depth = stack.pop()
+            node = tree.store._objects[pid]
+            if node.leaf_children:
+                depths.add(depth + 1)
+            else:
+                stack.extend((child, depth + 1) for child in node.pids)
+        assert len(depths) == 1
+
+    def test_records_inside_their_region(self):
+        tree = build(make_clustered_points(1200, seed=5))
+        for _, node in walk_regions(tree):
+            if not node.leaf_children:
+                continue
+            for region, pid in zip(node.rects, node.pids):
+                page = tree.store._objects[pid]
+                for point, _ in page.records:
+                    assert tree._region_contains(region, point)
+
+    def test_forced_splits_cost_storage(self):
+        """The k-d-B trade-off: diagonal data forces splits and lowers stor."""
+        uniform = build(make_points(2000, seed=6))
+        diagonal = build([(i / 2000.0, i / 2000.0) for i in range(2000)])
+        assert (
+            diagonal.metrics().storage_utilization
+            < uniform.metrics().storage_utilization
+        )
+
+    def test_empty_space_is_partitioned(self):
+        """Class C1 partitions everything: a query in an empty corner
+        still descends to a point page (contrast with BUDDY)."""
+        points = [p for p in make_clustered_points(900, seed=7)
+                  if p[0] > 0.05 or p[1] > 0.05]
+        tree = build(points)
+        tree.store.begin_operation()
+        tree.store.begin_operation()
+        before = tree.store.stats.total
+        assert tree.range_query(Rect((0.0, 0.0), (0.01, 0.01))) == []
+        assert tree.store.stats.total - before >= 1
+
+    def test_exact_match_single_path(self):
+        points = make_points(2000, seed=8)
+        tree = build(points)
+        for p in points[::401]:
+            tree.store.begin_operation()
+            tree.store.begin_operation()
+            before = tree.store.stats.total
+            assert tree.exact_match(p) == [points.index(p)]
+            assert tree.store.stats.total - before <= tree.directory_height + 1

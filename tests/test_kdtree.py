@@ -1,0 +1,53 @@
+"""Self-tests for the in-memory kd-tree oracle."""
+
+import pytest
+
+from repro.geometry.rect import Rect
+from repro.pam.kdtree import KdTreeOracle
+from tests.conftest import STANDARD_QUERIES, brute_range, make_points
+
+
+class TestKdTreeOracle:
+    def test_empty(self):
+        tree = KdTreeOracle(2)
+        assert len(tree) == 0
+        assert tree.exact_match((0.5, 0.5)) == []
+        assert tree.range_query(Rect.unit(2)) == []
+
+    def test_dims_validation(self):
+        with pytest.raises(ValueError):
+            KdTreeOracle(0)
+        tree = KdTreeOracle(2)
+        with pytest.raises(ValueError):
+            tree.insert((0.5,), 1)
+
+    def test_matches_brute_force(self):
+        points = make_points(800)
+        tree = KdTreeOracle(2)
+        for i, p in enumerate(points):
+            tree.insert(p, i)
+        for rect in STANDARD_QUERIES:
+            assert sorted(tree.range_query(rect)) == brute_range(points, rect)
+
+    def test_exact_match_and_duplicates(self):
+        tree = KdTreeOracle(2)
+        tree.insert((0.5, 0.5), "a")
+        tree.insert((0.5, 0.5), "b")
+        tree.insert((0.5, 0.6), "c")
+        assert sorted(tree.exact_match((0.5, 0.5))) == ["a", "b"]
+        assert tree.exact_match((0.6, 0.5)) == []
+        assert len(tree) == 3
+
+    def test_partial_match(self):
+        tree = KdTreeOracle(2)
+        tree.insert((0.25, 0.1), 1)
+        tree.insert((0.25, 0.9), 2)
+        tree.insert((0.75, 0.1), 3)
+        assert sorted(rid for _, rid in tree.partial_match({0: 0.25})) == [1, 2]
+        assert sorted(rid for _, rid in tree.partial_match({1: 0.1})) == [1, 3]
+
+    def test_boundary_coordinates(self):
+        tree = KdTreeOracle(2)
+        tree.insert((0.5, 0.3), 1)
+        tree.insert((0.5, 0.7), 2)  # equal first coordinate goes right
+        assert sorted(rid for _, rid in tree.partial_match({0: 0.5})) == [1, 2]

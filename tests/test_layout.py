@@ -1,0 +1,42 @@
+"""Tests for the 512-byte page capacity arithmetic."""
+
+import pytest
+
+from repro.storage import layout
+
+
+class TestRecordSizes:
+    def test_point_record_2d(self):
+        # 2 coordinates of 4 bytes plus a 4-byte record pointer.
+        assert layout.point_record_size(2) == 12
+
+    def test_point_record_4d(self):
+        assert layout.point_record_size(4) == 20
+
+    def test_rect_record_2d(self):
+        assert layout.rect_record_size(2) == 20
+
+
+class TestCapacities:
+    def test_2d_data_page_matches_paper_regime(self):
+        # 41 point records per 512-byte page.
+        assert layout.data_page_capacity(layout.point_record_size(2)) == 41
+
+    def test_4d_data_page(self):
+        assert layout.data_page_capacity(layout.point_record_size(4)) == 25
+
+    def test_rect_page(self):
+        assert layout.data_page_capacity(layout.rect_record_size(2)) == 25
+
+    def test_scales_with_page_size(self):
+        small = layout.data_page_capacity(12, page_size=512)
+        large = layout.data_page_capacity(12, page_size=1024)
+        assert large > small
+
+    def test_too_small_page_raises(self):
+        with pytest.raises(ValueError, match="at least 2 records"):
+            layout.data_page_capacity(300, page_size=512)
+
+    def test_directory_payload(self):
+        assert layout.directory_page_payload() == 512 - layout.PAGE_HEADER
+        assert layout.directory_page_payload(1024) == 1024 - layout.PAGE_HEADER

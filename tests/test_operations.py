@@ -1,0 +1,143 @@
+"""Tests for spatial join and nearest-neighbour search (§8 operations)."""
+
+import math
+import random
+
+import pytest
+
+from repro.pam.buddytree import BuddyTree
+from repro.pam.twolevelgrid import TwoLevelGridFile
+from repro.sam.operations import (
+    nearest_neighbors,
+    nearest_points,
+    nested_loop_join,
+    rtree_join,
+)
+from repro.sam.rtree import RTree
+from repro.storage.pagestore import PageStore
+from tests.conftest import make_points, make_rects
+
+
+def build_rtree(rects):
+    tree = RTree(PageStore(), 2)
+    for i, r in enumerate(rects):
+        tree.insert(r, i)
+    return tree
+
+
+class TestSpatialJoin:
+    def brute_join(self, left, right):
+        return sorted(
+            (i, j)
+            for i, a in enumerate(left)
+            for j, b in enumerate(right)
+            if a.intersects(b)
+        )
+
+    def test_matches_brute_force(self):
+        left = make_rects(300, seed=1, max_extent=0.05)
+        right = make_rects(250, seed=2, max_extent=0.05)
+        pairs = rtree_join(build_rtree(left), build_rtree(right))
+        assert sorted(pairs) == self.brute_join(left, right)
+
+    def test_nested_loop_same_answer(self):
+        left = make_rects(200, seed=3, max_extent=0.05)
+        right = make_rects(200, seed=4, max_extent=0.05)
+        right_tree = build_rtree(right)
+        nested = nested_loop_join(list(zip(left, range(len(left)))), right_tree)
+        assert sorted(nested) == self.brute_join(left, right)
+
+    def test_self_join_contains_diagonal(self):
+        rects = make_rects(150, seed=5)
+        tree = build_rtree(rects)
+        pairs = set(rtree_join(tree, tree))
+        for i in range(len(rects)):
+            assert (i, i) in pairs
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            rtree_join(RTree(PageStore(), 2), RTree(PageStore(), 3))
+
+    def test_sync_join_cheaper_than_nested_loop(self):
+        """The point of the synchronised descent: far fewer page reads."""
+        left = make_rects(800, seed=6, max_extent=0.02)
+        right = make_rects(800, seed=7, max_extent=0.02)
+        left_tree, right_tree = build_rtree(left), build_rtree(right)
+        before = left_tree.store.stats.total + right_tree.store.stats.total
+        rtree_join(left_tree, right_tree)
+        sync_cost = (
+            left_tree.store.stats.total + right_tree.store.stats.total - before
+        )
+        fresh_right = build_rtree(right)
+        before = fresh_right.store.stats.total
+        nested_loop_join(list(zip(left, range(len(left)))), fresh_right)
+        nested_cost = fresh_right.store.stats.total - before
+        assert sync_cost < nested_cost
+
+
+class TestNearestNeighbors:
+    def test_matches_brute_force(self):
+        rects = make_rects(500, seed=8)
+        tree = build_rtree(rects)
+        from repro.sam.operations import _point_rect_distance
+
+        for probe in [(0.5, 0.5), (0.05, 0.95), (0.31, 0.7)]:
+            got = nearest_neighbors(tree, probe, k=5)
+            expected = sorted(
+                (_point_rect_distance(probe, r), i) for i, r in enumerate(rects)
+            )[:5]
+            assert [d for d, _ in got] == pytest.approx([d for d, _ in expected])
+
+    def test_k_validation(self):
+        tree = build_rtree(make_rects(10, seed=9))
+        with pytest.raises(ValueError):
+            nearest_neighbors(tree, (0.5, 0.5), k=0)
+
+    def test_inside_rect_distance_zero(self):
+        rects = make_rects(100, seed=10, max_extent=0.2)
+        tree = build_rtree(rects)
+        inside = rects[0].center
+        distance, _ = nearest_neighbors(tree, inside, k=1)[0]
+        assert distance == 0.0
+
+    def test_best_first_reads_few_pages(self):
+        rects = make_rects(2000, seed=11, max_extent=0.01)
+        tree = build_rtree(rects)
+        tree.store.begin_operation()
+        tree.store.begin_operation()
+        before = tree.store.stats.total
+        nearest_neighbors(tree, (0.5, 0.5), k=3)
+        # Branch-and-bound touches a handful of pages, not the file.
+        assert tree.store.stats.total - before < 12
+
+
+class TestNearestPoints:
+    @pytest.mark.parametrize(
+        "factory", [BuddyTree, TwoLevelGridFile], ids=["BUDDY", "GRID"]
+    )
+    def test_matches_brute_force(self, factory):
+        points = make_points(800, seed=12)
+        pam = factory(PageStore(), 2)
+        for i, p in enumerate(points):
+            pam.insert(p, i)
+        rng = random.Random(13)
+        for _ in range(5):
+            probe = (rng.random(), rng.random())
+            got = nearest_points(pam, probe, k=4)
+            expected = sorted(
+                (math.dist(probe, p), p, i) for i, p in enumerate(points)
+            )[:4]
+            assert [d for d, _, _ in got] == pytest.approx(
+                [d for d, _, _ in expected]
+            )
+
+    def test_empty_index(self):
+        pam = BuddyTree(PageStore(), 2)
+        assert nearest_points(pam, (0.5, 0.5)) == []
+
+    def test_k_larger_than_file(self):
+        points = make_points(5, seed=14)
+        pam = BuddyTree(PageStore(), 2)
+        for i, p in enumerate(points):
+            pam.insert(p, i)
+        assert len(nearest_points(pam, (0.5, 0.5), k=50)) == 5

@@ -1,0 +1,74 @@
+"""Tests for the overlapping-regions SAM over PLOP hashing."""
+
+from repro.geometry.rect import Rect
+from repro.sam.overlapping import OverlappingPlop
+from repro.storage.pagestore import PageStore
+from tests.conftest import (
+    STANDARD_POINTS,
+    STANDARD_QUERIES,
+    check_sam_against_oracle,
+    make_rects,
+)
+
+
+def build(rects):
+    sam = OverlappingPlop(PageStore(), 2)
+    for i, r in enumerate(rects):
+        sam.insert(r, i)
+    return sam
+
+
+class TestCorrectness:
+    def test_small_rects(self):
+        rects = make_rects(600, seed=1)
+        check_sam_against_oracle(build(rects), rects, STANDARD_QUERIES, STANDARD_POINTS)
+
+    def test_large_rects(self):
+        rects = make_rects(400, seed=2, max_extent=0.45)
+        check_sam_against_oracle(build(rects), rects, STANDARD_QUERIES, STANDARD_POINTS)
+
+    def test_degenerate_rects(self):
+        rects = [Rect.from_point((i / 250.0, (i * 17 % 250) / 250.0)) for i in range(250)]
+        check_sam_against_oracle(build(rects), rects, STANDARD_QUERIES, STANDARD_POINTS)
+
+
+class TestBehaviour:
+    def test_no_directory(self):
+        sam = build(make_rects(500, seed=3))
+        assert sam.directory_height == 0
+
+    def test_containment_window_equals_intersection_window(self):
+        """The paper's PLOP rows: containment cost == intersection cost."""
+        rects = make_rects(1200, seed=4, max_extent=0.2)
+        sam = build(rects)
+        query = Rect((0.3, 0.3), (0.6, 0.6))
+
+        def cost(op):
+            sam.store.begin_operation()
+            sam.store.begin_operation()
+            before = sam.store.stats.total
+            op(query)
+            return sam.store.stats.total - before
+
+        assert cost(sam.containment) == cost(sam.intersection)
+
+    def test_max_extent_grows_query_window(self):
+        """Large stored rectangles make every query expensive."""
+        small = build(make_rects(800, seed=5, max_extent=0.01))
+        large = build(make_rects(800, seed=5, max_extent=0.45))
+        query = Rect((0.45, 0.45), (0.55, 0.55))
+
+        def cost(sam):
+            sam.store.begin_operation()
+            sam.store.begin_operation()
+            before = sam.store.stats.total
+            sam.intersection(query)
+            return sam.store.stats.total - before
+
+        assert cost(large) > cost(small)
+
+    def test_empty_enclosure_window(self):
+        # A query wider than any stored extension can never be enclosed.
+        rects = make_rects(300, seed=6, max_extent=0.01)
+        sam = build(rects)
+        assert sam.enclosure(Rect((0.1, 0.1), (0.9, 0.9))) == []

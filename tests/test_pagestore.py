@@ -1,0 +1,128 @@
+"""Tests for the counted page store and its buffering rules."""
+
+import pytest
+
+from repro.storage.page import PageKind
+from repro.storage.pagestore import PageStore
+
+
+class TestLifecycle:
+    def test_allocate_is_free(self, store):
+        store.allocate(PageKind.DATA, "a")
+        assert store.stats.total == 0
+
+    def test_ids_are_unique(self, store):
+        ids = [store.allocate(PageKind.DATA, i) for i in range(10)]
+        assert len(set(ids)) == 10
+
+    def test_kind_and_counts(self, store):
+        d = store.allocate(PageKind.DATA, "d")
+        store.allocate(PageKind.DIRECTORY, "i")
+        assert store.kind(d) is PageKind.DATA
+        assert store.count_pages(PageKind.DATA) == 1
+        assert store.count_pages(PageKind.DIRECTORY) == 1
+
+    def test_free_removes(self, store):
+        pid = store.allocate(PageKind.DATA, "x")
+        store.free(pid)
+        assert store.count_pages(PageKind.DATA) == 0
+        with pytest.raises(KeyError):
+            store.read(pid)
+
+
+class TestCounting:
+    def test_read_charges_once_per_operation(self, store):
+        pid = store.allocate(PageKind.DATA, "x")
+        store.begin_operation()
+        store.read(pid)
+        store.read(pid)
+        assert store.stats.data_reads == 1
+
+    def test_reads_classified_by_kind(self, store):
+        d = store.allocate(PageKind.DATA, "d")
+        i = store.allocate(PageKind.DIRECTORY, "i")
+        store.begin_operation()
+        store.read(d)
+        store.read(i)
+        assert store.stats.data_reads == 1
+        assert store.stats.dir_reads == 1
+
+    def test_write_charges_once_per_operation(self, store):
+        pid = store.allocate(PageKind.DIRECTORY, "x")
+        store.begin_operation()
+        store.write(pid)
+        store.write(pid)
+        assert store.stats.dir_writes == 1
+        store.begin_operation()
+        store.write(pid)
+        assert store.stats.dir_writes == 2
+
+    def test_total(self, store):
+        pid = store.allocate(PageKind.DATA, "x")
+        store.begin_operation()
+        store.read(pid)
+        store.write(pid)
+        assert store.stats.total == 2
+        assert store.stats.reads == 1
+        assert store.stats.writes == 1
+
+
+class TestPinning:
+    def test_pinned_reads_and_writes_are_free(self, store):
+        pid = store.allocate(PageKind.DIRECTORY, "root")
+        store.pin(pid)
+        store.begin_operation()
+        store.read(pid)
+        store.write(pid)
+        assert store.stats.total == 0
+        assert store.pinned_count == 1
+
+    def test_unpin_restores_charging(self, store):
+        pid = store.allocate(PageKind.DIRECTORY, "root")
+        store.pin(pid)
+        store.unpin(pid)
+        store.begin_operation()
+        store.read(pid)
+        assert store.stats.dir_reads == 1
+
+
+class TestPathBuffer:
+    def test_last_path_is_free(self, store):
+        pids = [store.allocate(PageKind.DATA, i) for i in range(3)]
+        store.begin_operation()
+        for pid in pids:
+            store.read(pid)
+        assert store.stats.data_reads == 3
+        store.begin_operation()
+        for pid in pids:
+            store.read(pid)
+        assert store.stats.data_reads == 3  # all buffered
+
+    def test_buffer_is_limited_to_path_tail(self):
+        store = PageStore(path_buffer_limit=2)
+        pids = [store.allocate(PageKind.DATA, i) for i in range(5)]
+        store.begin_operation()
+        for pid in pids:
+            store.read(pid)
+        store.begin_operation()
+        for pid in pids:
+            store.read(pid)
+        # Only the final two pages of the previous operation were kept.
+        assert store.stats.data_reads == 5 + 3
+
+    def test_buffer_does_not_persist_two_operations_back(self, store):
+        pid = store.allocate(PageKind.DATA, "x")
+        store.begin_operation()
+        store.read(pid)
+        store.begin_operation()  # still buffered here
+        store.begin_operation()  # ...but dropped here
+        store.read(pid)
+        assert store.stats.data_reads == 2
+
+    def test_written_pages_enter_the_buffer(self, store):
+        pid = store.allocate(PageKind.DATA, "x")
+        store.begin_operation()
+        store.write(pid)
+        store.begin_operation()
+        store.read(pid)
+        assert store.stats.data_reads == 0

@@ -1,0 +1,53 @@
+"""Consistency of the transcribed paper numbers (repro.bench.paper)."""
+
+from repro.bench.paper import (
+    PAM_QUERY_AVERAGE_PAPER,
+    PAM_SUMMARY_PAPER,
+    PAM_TABLE_PAPER,
+    SAM_SUMMARY_PAPER,
+    SAM_TABLE_PAPER,
+)
+
+PAM_NAMES = {"HB", "BANG", "GRID", "BUDDY", "BUDDY+"}
+SAM_NAMES = {"R-Tree", "BANG", "BUDDY", "PLOP"}
+
+
+class TestPaperTables:
+    def test_pam_tables_cover_all_structures(self):
+        for distribution, rows in PAM_TABLE_PAPER.items():
+            assert set(rows) == PAM_NAMES, distribution
+            for name, row in rows.items():
+                assert len(row) == 9, (distribution, name)
+
+    def test_grid_rows_are_the_measuring_stick(self):
+        for distribution, rows in PAM_TABLE_PAPER.items():
+            grid = rows["GRID"]
+            if grid[0] is not None:
+                assert grid[:5] == (100.0,) * 5, distribution
+
+    def test_query_average_table_is_complete(self):
+        for distribution, rows in PAM_QUERY_AVERAGE_PAPER.items():
+            assert set(rows) == PAM_NAMES | {"BANG*"}, distribution
+            assert rows["GRID"] == 100.0
+
+    def test_table_5_1_headline(self):
+        """The transcription carries the paper's conclusion."""
+        averages = {name: row[0] for name, row in PAM_SUMMARY_PAPER.items()}
+        assert min(averages, key=averages.get) == "BUDDY+"
+        assert averages["BUDDY"] <= 0.81 * averages["HB"]  # ">= 20 % better"
+
+    def test_sam_tables_cover_all_structures(self):
+        for distribution, rows in SAM_TABLE_PAPER.items():
+            assert set(rows) == SAM_NAMES, distribution
+            for name, row in rows.items():
+                assert len(row) == 4
+
+    def test_sam_containment_identities(self):
+        """R-tree and PLOP containment equal their intersection cost."""
+        for rows in SAM_TABLE_PAPER.values():
+            for name in ("R-Tree", "PLOP"):
+                point, intersect, _, contain = rows[name]
+                assert contain == intersect, name
+
+    def test_sam_summary_normalised(self):
+        assert SAM_SUMMARY_PAPER["R-Tree"][:4] == (100.0,) * 4

@@ -1,0 +1,173 @@
+"""Hypothesis property tests: every structure equals the oracle.
+
+The property is the fundamental contract of an access method: for any
+set of distinct points (or rectangles) and any query, the structure
+returns exactly what a linear scan returns.
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.testbed import standard_pam_factories, standard_sam_factories
+from repro.geometry.rect import Rect
+from repro.storage.pagestore import PageStore
+
+coordinate = st.floats(0.0, 1.0, exclude_max=True, allow_nan=False)
+point_sets = st.lists(
+    st.tuples(coordinate, coordinate), min_size=1, max_size=120, unique=True
+)
+
+
+@st.composite
+def query_rect(draw):
+    a, b = draw(coordinate), draw(coordinate)
+    c, d = draw(coordinate), draw(coordinate)
+    return Rect((min(a, b), min(c, d)), (max(a, b), max(c, d)))
+
+
+@st.composite
+def rect_sets(draw):
+    n = draw(st.integers(1, 60))
+    rects = []
+    seen = set()
+    for _ in range(n):
+        r = draw(query_rect())
+        if r not in seen:
+            seen.add(r)
+            rects.append(r)
+    return rects
+
+
+PAM_SETTINGS = settings(
+    max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+
+class TestPamProperties:
+    @PAM_SETTINGS
+    @given(points=point_sets, query=query_rect())
+    def test_all_pams_match_linear_scan(self, points, query):
+        expected = sorted(
+            (p, i) for i, p in enumerate(points) if query.contains_point(p)
+        )
+        for name, factory in standard_pam_factories().items():
+            pam = factory(PageStore(), dims=2)
+            for i, p in enumerate(points):
+                pam.insert(p, i)
+            assert sorted(pam.range_query(query)) == expected, name
+
+    @PAM_SETTINGS
+    @given(points=point_sets)
+    def test_exact_match_finds_every_point(self, points):
+        for name, factory in standard_pam_factories().items():
+            pam = factory(PageStore(), dims=2)
+            for i, p in enumerate(points):
+                pam.insert(p, i)
+            for i, p in enumerate(points[:10]):
+                assert pam.exact_match(p) == [i], name
+
+    @PAM_SETTINGS
+    @given(points=point_sets)
+    def test_metrics_invariants(self, points):
+        for name, factory in standard_pam_factories().items():
+            pam = factory(PageStore(), dims=2)
+            for i, p in enumerate(points):
+                pam.insert(p, i)
+            m = pam.metrics()
+            assert m.records == len(points), name
+            assert 0.0 < m.storage_utilization <= 100.0, name
+            assert m.data_pages >= 1, name
+            assert m.height >= 0, name
+
+
+class TestSamProperties:
+    @PAM_SETTINGS
+    @given(rects=rect_sets(), query=query_rect())
+    def test_all_sams_match_linear_scan(self, rects, query):
+        intersect = sorted(i for i, r in enumerate(rects) if r.intersects(query))
+        contain = sorted(i for i, r in enumerate(rects) if query.contains_rect(r))
+        enclose = sorted(i for i, r in enumerate(rects) if r.contains_rect(query))
+        for name, factory in standard_sam_factories().items():
+            sam = factory(PageStore(), dims=2)
+            for i, r in enumerate(rects):
+                sam.insert(r, i)
+            assert sorted(sam.intersection(query)) == intersect, name
+            assert sorted(sam.containment(query)) == contain, name
+            assert sorted(sam.enclosure(query)) == enclose, name
+
+    @PAM_SETTINGS
+    @given(rects=rect_sets(), x=coordinate, y=coordinate)
+    def test_all_sams_point_query(self, rects, x, y):
+        expected = sorted(
+            i for i, r in enumerate(rects) if r.contains_point((x, y))
+        )
+        for name, factory in standard_sam_factories().items():
+            sam = factory(PageStore(), dims=2)
+            for i, r in enumerate(rects):
+                sam.insert(r, i)
+            assert sorted(sam.point_query((x, y))) == expected, name
+
+
+class TestDeletionProperties:
+    @PAM_SETTINGS
+    @given(points=point_sets, keep=st.integers(0, 50))
+    def test_buddy_delete_then_query(self, points, keep):
+        from repro.pam.buddytree import BuddyTree
+
+        tree = BuddyTree(PageStore(), 2)
+        for i, p in enumerate(points):
+            tree.insert(p, i)
+        removed = points[keep:]
+        for offset, p in enumerate(removed):
+            assert tree.delete(p, keep + offset)
+        expected = sorted((p, i) for i, p in enumerate(points[:keep]))
+        assert sorted(tree.range_query(Rect.unit(2))) == expected
+
+
+class TestExtendedStructureProperties:
+    """The post-paper structures obey the same oracle contract."""
+
+    @settings(max_examples=12, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(points=point_sets, query=query_rect())
+    def test_extended_pams_match_linear_scan(self, points, query):
+        from repro import (
+            KdBTree,
+            MultilevelGridFile,
+            QuantileHashing,
+            TwinGridFile,
+        )
+        from repro.pam.bang import BangFile
+        from repro.pam.hbtree import HBTree
+
+        factories = {
+            "KDB": lambda s: KdBTree(s, 2),
+            "MLGF": lambda s: MultilevelGridFile(s, 2),
+            "TWIN": lambda s: TwinGridFile(s, 2),
+            "QUANTILE": lambda s: QuantileHashing(s, 2),
+            "BANG-MBR": lambda s: BangFile(s, 2, minimal_regions=True),
+            "HB-MBR": lambda s: HBTree(s, 2, minimal_regions=True),
+        }
+        expected = sorted(
+            (p, i) for i, p in enumerate(points) if query.contains_point(p)
+        )
+        for name, factory in factories.items():
+            pam = factory(PageStore())
+            for i, p in enumerate(points):
+                pam.insert(p, i)
+            assert sorted(pam.range_query(query)) == expected, name
+
+    @settings(max_examples=12, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(rects=rect_sets(), query=query_rect())
+    def test_rplus_tree_matches_linear_scan(self, rects, query):
+        from repro import RPlusTree
+
+        sam = RPlusTree(PageStore(), 2)
+        for i, r in enumerate(rects):
+            sam.insert(r, i)
+        assert sorted(sam.intersection(query)) == sorted(
+            i for i, r in enumerate(rects) if r.intersects(query)
+        )
+        assert sorted(sam.containment(query)) == sorted(
+            i for i, r in enumerate(rects) if query.contains_rect(r)
+        )

@@ -1,0 +1,94 @@
+"""Tests for the R+-tree (disjoint regions, clipped data rectangles)."""
+
+from repro.geometry.rect import Rect
+from repro.sam.rplustree import RPlusTree, _Inner
+from repro.storage.pagestore import PageStore
+from tests.conftest import (
+    STANDARD_POINTS,
+    STANDARD_QUERIES,
+    check_sam_against_oracle,
+    make_rects,
+)
+
+
+def build(rects):
+    tree = RPlusTree(PageStore(), 2)
+    for i, r in enumerate(rects):
+        tree.insert(r, i)
+    return tree
+
+
+def walk_inner(tree):
+    if tree._root_is_leaf:
+        return
+    stack = [(Rect.unit(2), tree._root_pid)]
+    while stack:
+        region, pid = stack.pop()
+        node = tree.store._objects[pid]
+        yield region, node
+        if not node.leaf_children:
+            stack.extend(zip(node.regions, node.pids))
+
+
+class TestCorrectness:
+    def test_small_rects(self):
+        rects = make_rects(900, seed=1)
+        check_sam_against_oracle(build(rects), rects, STANDARD_QUERIES, STANDARD_POINTS)
+
+    def test_medium_rects(self):
+        rects = make_rects(400, seed=2, max_extent=0.2)
+        check_sam_against_oracle(build(rects), rects, STANDARD_QUERIES, STANDARD_POINTS)
+
+    def test_degenerate_rects(self):
+        rects = [Rect.from_point((i / 300.0, (i * 7 % 300) / 300.0)) for i in range(300)]
+        check_sam_against_oracle(build(rects), rects, STANDARD_QUERIES, STANDARD_POINTS)
+
+    def test_no_duplicate_results(self):
+        rects = make_rects(600, seed=3, max_extent=0.15)
+        tree = build(rects)
+        for query in STANDARD_QUERIES:
+            hits = tree.intersection(query)
+            assert len(hits) == len(set(hits))
+
+
+class TestStructure:
+    def test_regions_partition_completely(self):
+        tree = build(make_rects(800, seed=4))
+        for region, node in walk_inner(tree):
+            total = sum(r.area() for r in node.regions)
+            assert abs(total - region.area()) < 1e-9
+            for i, a in enumerate(node.regions):
+                for b in node.regions[i + 1 :]:
+                    inter = a.intersection(b)
+                    assert inter is None or inter.area() == 0.0
+
+    def test_redundancy_is_at_least_one(self):
+        rects = make_rects(600, seed=5)
+        tree = build(rects)
+        assert tree.stored_entries >= len(rects)
+
+    def test_points_are_never_duplicated(self):
+        rects = [Rect.from_point((i / 400.0, (i * 3 % 400) / 400.0)) for i in range(400)]
+        tree = build(rects)
+        assert tree.stored_entries == len(rects)
+
+    def test_large_rects_multiply_redundancy(self):
+        """The clipping trade-off: larger objects, more copies."""
+        small = build(make_rects(400, seed=6, max_extent=0.01))
+        large = build(make_rects(400, seed=6, max_extent=0.25))
+        assert (
+            large.stored_entries / len(large)
+            > small.stored_entries / len(small)
+        )
+
+    def test_point_query_single_path(self):
+        """The R+-tree's selling point: no overlap on point queries."""
+        rects = make_rects(1500, seed=7, max_extent=0.01)
+        tree = build(rects)
+        for probe in STANDARD_POINTS:
+            tree.store.begin_operation()
+            tree.store.begin_operation()
+            before = tree.store.stats.total
+            tree.point_query(probe)
+            # One leaf per level plus boundary neighbours at most.
+            assert tree.store.stats.total - before <= 2 * (tree.directory_height + 1)

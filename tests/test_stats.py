@@ -1,0 +1,47 @@
+"""Tests for access counters and build metrics."""
+
+from repro.core.stats import AccessStats, BuildMetrics
+
+
+class TestAccessStats:
+    def test_initial_zero(self):
+        s = AccessStats()
+        assert s.total == 0 and s.reads == 0 and s.writes == 0
+
+    def test_recording(self):
+        s = AccessStats()
+        s.record_read(True)
+        s.record_read(False)
+        s.record_write(True)
+        assert (s.data_reads, s.dir_reads, s.data_writes, s.dir_writes) == (1, 1, 1, 0)
+        assert s.reads == 2 and s.writes == 1 and s.total == 3
+
+    def test_snapshot_is_independent(self):
+        s = AccessStats()
+        s.record_read(True)
+        snap = s.snapshot()
+        s.record_read(True)
+        assert snap.data_reads == 1 and s.data_reads == 2
+
+    def test_subtraction(self):
+        before = AccessStats(1, 2, 3, 4)
+        after = AccessStats(5, 6, 7, 8)
+        delta = after - before
+        assert (delta.data_reads, delta.data_writes, delta.dir_reads, delta.dir_writes) == (
+            4, 4, 4, 4,
+        )
+
+    def test_repr(self):
+        assert "data_reads=1" in repr(AccessStats(1, 0, 0, 0))
+
+
+class TestBuildMetrics:
+    def test_frozen(self):
+        m = BuildMetrics(70.0, 2.5, 3.0, 2, 1000, 35, 1, 1)
+        assert m.storage_utilization == 70.0
+        try:
+            m.height = 5
+            raised = False
+        except AttributeError:
+            raised = True
+        assert raised

@@ -1,0 +1,99 @@
+"""Empirical verification of Table 1 (the paper's PAM classification).
+
+The *complete* axis is observable: a query in provably empty space
+touches at least one data page iff the structure partitions the whole
+space.  The *disjoint* axis is observable for the twin grid file (the
+one non-disjoint class): the two files' regions overlay each other.
+"""
+
+import pytest
+
+from repro import (
+    BangFile,
+    BuddyTree,
+    GridFile,
+    HBTree,
+    KdBTree,
+    MultilevelGridFile,
+    PlopHashing,
+    QuantileHashing,
+    TwinGridFile,
+    TwoLevelGridFile,
+    ZOrderBTree,
+)
+from repro.core.taxonomy import TABLE_1, classify
+from repro.geometry.rect import Rect
+from repro.storage.pagestore import PageStore
+from tests.conftest import make_clustered_points
+
+FACTORIES = {
+    "KdBTree": KdBTree,
+    "GridFile": GridFile,
+    "TwoLevelGridFile": TwoLevelGridFile,
+    "PlopHashing": PlopHashing,
+    "QuantileHashing": QuantileHashing,
+    "TwinGridFile": TwinGridFile,
+    "BuddyTree": BuddyTree,
+    "MultilevelGridFile": MultilevelGridFile,
+    "ZOrderBTree": ZOrderBTree,
+    "BangFile": BangFile,
+    "HBTree": HBTree,
+}
+
+EMPTY_CORNER = Rect((0.0, 0.0), (0.01, 0.01))
+
+
+def build(name):
+    points = make_clustered_points(900, seed=42)
+    points = [p for p in points if not EMPTY_CORNER.contains_point(p)]
+    pam = FACTORIES[name](PageStore(), 2)
+    for i, p in enumerate(points):
+        pam.insert(p, i)
+    return pam
+
+
+class TestTable1:
+    def test_every_implemented_structure_is_classified(self):
+        assert {row.name for row in TABLE_1} == set(FACTORIES)
+
+    def test_class_properties_match_definition(self):
+        definitions = {
+            "C1": (True, True, True),
+            "C2": (True, True, False),
+            "C3": (True, False, True),
+            "C4": (False, True, True),
+        }
+        for row in TABLE_1:
+            assert (row.rectangular, row.complete, row.disjoint) == definitions[
+                row.klass
+            ], row.name
+
+    def test_classify_unknown(self):
+        with pytest.raises(KeyError):
+            classify("RTree")  # a SAM, not in the PAM table
+
+    @pytest.mark.parametrize("name", sorted(FACTORIES))
+    def test_completeness_axis_is_observable(self, name):
+        """Complete partitions read data pages even for empty space."""
+        pam = build(name)
+        pam.store.begin_operation()
+        pam.store.begin_operation()
+        before = pam.store.stats.data_reads
+        assert pam.range_query(EMPTY_CORNER) == []
+        touched = pam.store.stats.data_reads - before
+        if classify(name).complete:
+            assert touched >= 1, f"{name} claims complete regions"
+        else:
+            assert touched == 0, f"{name} claims not to partition empty space"
+
+    def test_twin_grid_regions_overlap(self):
+        """Class C2: the twin file's regions overlay the primary ones."""
+        twin = build("TwinGridFile")
+        primary = [twin._layers[0].box_rect(pid) for pid in twin._layers[0].boxes]
+        secondary = [twin._layers[1].box_rect(pid) for pid in twin._layers[1].boxes]
+        overlap = any(
+            a.intersection(b) is not None and a.intersection(b).area() > 0
+            for a in primary
+            for b in secondary
+        )
+        assert overlap

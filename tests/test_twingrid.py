@@ -1,0 +1,88 @@
+"""Tests for the twin grid file (class C2)."""
+
+from repro.geometry.rect import Rect
+from repro.pam.gridfile import GridFile
+from repro.pam.twingrid import TwinGridFile
+from repro.storage.page import PageKind
+from repro.storage.pagestore import PageStore
+from tests.conftest import (
+    STANDARD_QUERIES,
+    check_pam_against_oracle,
+    make_clustered_points,
+    make_points,
+)
+
+
+def build(points):
+    twin = TwinGridFile(PageStore(), 2)
+    for i, p in enumerate(points):
+        twin.insert(p, i)
+    return twin
+
+
+class TestCorrectness:
+    def test_uniform(self):
+        points = make_points(900)
+        check_pam_against_oracle(build(points), points, STANDARD_QUERIES)
+
+    def test_clusters(self):
+        points = make_clustered_points(800, seed=1)
+        check_pam_against_oracle(build(points), points, STANDARD_QUERIES)
+
+    def test_diagonal(self):
+        points = [(i / 700.0, i / 700.0) for i in range(700)]
+        check_pam_against_oracle(build(points), points, STANDARD_QUERIES)
+
+    def test_sorted_insertion(self):
+        points = sorted(make_points(700, seed=2))
+        check_pam_against_oracle(build(points), points, STANDARD_QUERIES)
+
+
+class TestTwinBehaviour:
+    def test_records_in_exactly_one_file(self):
+        twin = build(make_points(1200, seed=3))
+        seen: set[object] = set()
+        for pid in twin.store.page_ids():
+            if twin.store.kind(pid) is not PageKind.DATA:
+                continue
+            for _, rid in twin.store._objects[pid].records:
+                assert rid not in seen, "record duplicated across the twins"
+                seen.add(rid)
+        assert len(seen) == len(twin)
+
+    def test_twin_holds_overflow(self):
+        """Some records really do live in the second grid file."""
+        twin = build(make_clustered_points(1500, seed=4))
+        twin_pids = set(twin._layers[1].boxes)
+        overflow = sum(
+            len(twin.store._objects[pid].records) for pid in twin_pids
+        )
+        assert overflow > 0
+
+    def test_capacity_never_exceeded(self):
+        twin = build(make_points(1500, seed=5))
+        for pid in twin.store.page_ids():
+            if twin.store.kind(pid) is PageKind.DATA:
+                assert len(twin.store._objects[pid].records) <= twin.record_capacity
+
+    def test_higher_storage_utilization_than_grid_file(self):
+        """[HSW 88]: the twin principle is a space optimisation."""
+        for seed in (6, 7):
+            points = make_points(2500, seed=seed)
+            twin = build(points)
+            grid = GridFile(PageStore(), 2)
+            for i, p in enumerate(points):
+                grid.insert(p, i)
+            assert (
+                twin.metrics().storage_utilization
+                > grid.metrics().storage_utilization
+            )
+
+    def test_exact_match_touches_both_files(self):
+        twin = build(make_points(800, seed=8))
+        twin.store.begin_operation()
+        twin.store.begin_operation()
+        before = twin.store.stats.total
+        twin.exact_match((0.123, 0.456))
+        # Two directory reads plus two data reads: the twin cost.
+        assert 2 <= twin.store.stats.total - before <= 4

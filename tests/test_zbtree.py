@@ -1,0 +1,109 @@
+"""Tests for the z-order B+-tree and the underlying B+-tree core."""
+
+import pytest
+
+from repro.pam.zbtree import ZOrderBTree, _BPlusTree
+from repro.storage.page import PageKind
+from repro.storage.pagestore import PageStore
+from tests.conftest import (
+    STANDARD_QUERIES,
+    check_pam_against_oracle,
+    make_clustered_points,
+    make_points,
+)
+
+
+class TestBPlusTreeCore:
+    def make(self, leaf=4, inner=4):
+        return _BPlusTree(PageStore(), leaf_capacity=leaf, inner_capacity=inner)
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            _BPlusTree(PageStore(), leaf_capacity=1, inner_capacity=4)
+
+    def test_insert_and_lookup(self):
+        tree = self.make()
+        for k in [5, 3, 8, 1, 9, 7, 2, 6, 4, 0]:
+            tree.insert(k, f"v{k}")
+        for k in range(10):
+            assert tree.lookup(k) == [f"v{k}"]
+        assert tree.lookup(42) == []
+
+    def test_duplicates_stay_findable(self):
+        tree = self.make()
+        for i in range(30):
+            tree.insert(7, i)
+            tree.insert(i, -i)
+        assert sorted(tree.lookup(7)) == [-7] + list(range(30))
+
+    def test_scan_is_sorted_and_complete(self):
+        tree = self.make()
+        keys = [((i * 37) % 101) for i in range(101)]
+        for k in keys:
+            tree.insert(k, k)
+        got = [k for k, _ in tree.scan(10, 60)]
+        assert got == sorted(k for k in keys if 10 <= k < 60)
+
+    def test_scan_full_range(self):
+        tree = self.make()
+        for i in range(200):
+            tree.insert(i, i)
+        assert [k for k, _ in tree.scan(0, 10**9)] == list(range(200))
+
+    def test_leaves_respect_capacity_and_order(self):
+        tree = self.make(leaf=4, inner=4)
+        for i in range(300):
+            tree.insert((i * 131) % 997, i)
+        store = tree.store
+        for pid in store.page_ids():
+            obj = store._objects[pid]
+            if store.kind(pid) is PageKind.DATA:
+                assert len(obj.keys) <= 4
+                assert obj.keys == sorted(obj.keys)
+            else:
+                assert len(obj.pids) <= 4
+                assert obj.keys == sorted(obj.keys)
+                assert len(obj.pids) == len(obj.keys) + 1
+
+    def test_height_grows(self):
+        tree = self.make(leaf=4, inner=4)
+        assert tree.height == 0
+        for i in range(100):
+            tree.insert(i, i)
+        assert tree.height >= 2
+
+
+class TestZOrderBTree:
+    def build(self, points, **kwargs):
+        tree = ZOrderBTree(PageStore(), 2, **kwargs)
+        for i, p in enumerate(points):
+            tree.insert(p, i)
+        return tree
+
+    def test_uniform(self):
+        points = make_points(900)
+        check_pam_against_oracle(self.build(points), points, STANDARD_QUERIES)
+
+    def test_clusters(self):
+        points = make_clustered_points(700, seed=1)
+        check_pam_against_oracle(self.build(points), points, STANDARD_QUERIES)
+
+    def test_more_query_regions_cost_fewer_leaf_reads(self):
+        from repro.geometry.rect import Rect
+
+        points = make_points(3000, seed=2)
+        query = Rect((0.27, 0.27), (0.52, 0.52))
+
+        def cost(regions):
+            tree = self.build(points, query_regions=regions)
+            tree.store.begin_operation()
+            tree.store.begin_operation()
+            before = tree.store.stats.data_reads
+            tree.range_query(query)
+            return tree.store.stats.data_reads - before
+
+        assert cost(16) <= cost(1)
+
+    def test_height_reported(self):
+        tree = self.build(make_points(2000, seed=3))
+        assert tree.directory_height >= 1
