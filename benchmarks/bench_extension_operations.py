@@ -8,6 +8,8 @@ scan bound.
 """
 
 from repro.core.comparison import build_sam
+from repro.obs.metrics import Histogram
+from repro.obs.tracer import Tracer
 from repro.sam.operations import nearest_neighbors, nested_loop_join, rtree_join
 from repro.sam.rtree import RTree
 from repro.workloads.queries import generate_point_queries
@@ -50,6 +52,10 @@ def test_nearest_neighbors(benchmark):
     rects = generate_rect_file("uniform_small", n, seed=43)
     tree = build_sam(lambda s, dims=2: RTree(s, dims), rects)
     probes = generate_point_queries(count=20, seed=44)
+    # Trace each probe as its own span so the emitted table can report
+    # the per-probe access *distribution*, not just the total.
+    tracer = Tracer().attach(tree.store)
+    tracer.set_context(structure="R-Tree", op="nn")
 
     def run():
         total_cost = 0
@@ -62,12 +68,23 @@ def test_nearest_neighbors(benchmark):
         return total_cost
 
     total_cost = benchmark.pedantic(run, rounds=1, iterations=1)
+    per_probe = Histogram("nn/accesses")
+    # Every second span is the empty double-bracket flush; keep probes.
+    for span in tracer.finish():
+        if span.op == "nn" and span.accesses:
+            per_probe.observe(span.accesses)
     pages = tree.metrics().data_pages + tree.metrics().directory_pages
     emit(
         "EXT-NN",
         "Nearest neighbours (k=5, 20 probes), page accesses\n"
         f"{'best-first total':20s}{total_cost:>10d}\n"
-        f"{'file size (pages)':20s}{pages:>10d}",
+        f"{'file size (pages)':20s}{pages:>10d}\n"
+        f"{'per-probe p50':20s}{per_probe.percentile(50):>10.0f}\n"
+        f"{'per-probe p90':20s}{per_probe.percentile(90):>10.0f}\n"
+        f"{'per-probe p99':20s}{per_probe.percentile(99):>10.0f}\n"
+        f"{'per-probe max':20s}{per_probe.max:>10.0f}",
     )
     # Branch-and-bound must beat even a single full scan per probe.
     assert total_cost < pages
+    # The distribution must account for the measured total exactly.
+    assert per_probe.sum == total_cost

@@ -7,12 +7,21 @@ tables carry the paper's headline: *BUDDY wins with an at least 20 %
 better average query performance*.
 """
 
+import pytest
+
 from repro.bench.paper import PAM_QUERY_AVERAGE_PAPER, PAM_SUMMARY_PAPER
 from repro.core.comparison import normalise
 from repro.workloads.distributions import POINT_FILES
 from repro.workloads.queries import generate_range_queries
 
-from benchmarks.conftest import built_pam, emit, pam_results, paper_vs_measured
+from benchmarks.conftest import (
+    built_pam,
+    emit,
+    pam_report,
+    pam_results,
+    paper_vs_measured,
+    reports_enabled,
+)
 
 ORDER = ("uniform", "sinus", "bit", "x_parallel", "real", "diagonal", "cluster")
 STRUCTURES = ("HB", "BANG", "BANG*", "GRID", "BUDDY", "BUDDY+")
@@ -90,3 +99,24 @@ def test_table_5_1(benchmark):
     assert measured["BUDDY"][0] < measured["HB"][0]
     assert measured["BUDDY+"][0] <= measured["BUDDY"][0] * 1.05
     assert measured["BUDDY+"][1] > measured["BUDDY"][1]
+
+
+def test_access_distributions():
+    """With --report: per-query access *distributions*, not just means.
+
+    The paper's tables only print averages; the run report records the
+    full accesses-per-query histogram, whose p50/p90/p99 expose tail
+    behaviour (e.g. directory skew) that an average hides.
+    """
+    if not reports_enabled():
+        pytest.skip("run the benches with --report to trace distributions")
+    report = pam_report("uniform")
+    emit("TAB-5.1-DIST", report.render())
+    # The traced histograms must agree exactly with the untraced means
+    # that feed the paper tables.
+    results = pam_results("uniform")
+    for name, result in results.items():
+        for label, cost in result.query_costs.items():
+            hist = report.structures[name]["queries"][label]["accesses"]
+            assert hist["mean"] == pytest.approx(cost)
+            assert hist["p50"] <= hist["p90"] <= hist["p99"] <= hist["max"]

@@ -9,7 +9,14 @@ from repro.bench.paper import PAM_TABLE_PAPER
 from repro.core.comparison import PAM_QUERY_TYPES, normalise
 from repro.workloads.queries import generate_range_queries
 
-from benchmarks.conftest import built_pam, emit, pam_results, paper_vs_measured
+from benchmarks.conftest import (
+    built_pam,
+    emit,
+    pam_report,
+    pam_results,
+    paper_vs_measured,
+    reports_enabled,
+)
 
 COLUMNS = ("rq.1%", "rq1%", "rq10%", "pm-x", "pm-y", "stor", "dir/dat", "insert", "h")
 
@@ -34,6 +41,9 @@ def run_table(benchmark, file_name: str, experiment_id: str, title: str):
         title, PAM_TABLE_PAPER.get(file_name, {}), measured_rows(results, norm), COLUMNS
     )
     emit(experiment_id, table)
+    if reports_enabled():
+        # Alongside the paper's means, the traced access distributions.
+        emit(f"{experiment_id}-DIST", pam_report(file_name).render())
     pam = built_pam(file_name, "GRID")
     queries = generate_range_queries(0.01)
     benchmark(lambda: [pam.range_query(q) for q in queries])

@@ -2,10 +2,18 @@
 rectangle files, normalised to the R-tree (= 100), plus the average
 storage utilisation and insertion cost."""
 
+import pytest
+
 from repro.bench.paper import SAM_SUMMARY_PAPER
 from repro.core.comparison import SAM_QUERY_TYPES
 
-from benchmarks.conftest import emit, paper_vs_measured, sam_results
+from benchmarks.conftest import (
+    emit,
+    paper_vs_measured,
+    reports_enabled,
+    sam_report,
+    sam_results,
+)
 
 FILES = ("uniform_small", "uniform_large", "gaussian_square", "gaussian_slim", "diagonal")
 STRUCTURES = ("R-Tree", "BANG", "BUDDY", "PLOP")
@@ -47,3 +55,16 @@ def test_table_sam_average(benchmark):
     assert measured["BANG"][3] < 50.0
     # PLOP does not beat the R-tree on intersection on average.
     assert measured["PLOP"][1] > 85.0
+
+
+def test_access_distributions():
+    """With --report: §8 per-query access distributions for one file."""
+    if not reports_enabled():
+        pytest.skip("run the benches with --report to trace distributions")
+    report = sam_report("uniform_small")
+    emit("TAB-SAM-AVG-DIST", report.render())
+    results = sam_results("uniform_small")
+    for name, result in results.items():
+        for label, cost in result.query_costs.items():
+            hist = report.structures[name]["queries"][label]["accesses"]
+            assert hist["mean"] == pytest.approx(cost)

@@ -9,7 +9,13 @@ and PLOP via overlapping regions.
 from repro.bench.paper import SAM_TABLE_PAPER
 from repro.core.comparison import SAM_QUERY_TYPES
 
-from benchmarks.conftest import emit, paper_vs_measured, sam_results
+from benchmarks.conftest import (
+    emit,
+    paper_vs_measured,
+    reports_enabled,
+    sam_report,
+    sam_results,
+)
 
 COLUMNS = ("point", "intersect", "enclose", "contain")
 
@@ -29,6 +35,8 @@ def run_table(benchmark, file_name: str, experiment_id: str, title: str):
             title, SAM_TABLE_PAPER[file_name], measured_rows(results), COLUMNS
         ),
     )
+    if reports_enabled():
+        emit(f"{experiment_id}-DIST", sam_report(file_name).render())
     benchmark(lambda: results)  # builds/queries are cached; time the lookup
     return results
 

@@ -9,11 +9,21 @@ metric (page accesses).
 Every bench prints its paper-style table and writes it to
 ``results/<experiment id>.txt``; set ``REPRO_BENCH_SCALE`` to change the
 number of records per file (default 10 000; the paper uses 100 000).
+
+**Run reports** — invoking the benches with ``--report`` (or with
+``REPRO_RUN_REPORT=1`` in the environment) traces every build and query
+run through :mod:`repro.obs` and writes one machine-readable
+:class:`~repro.obs.RunReport` per data file to
+``results/RUN-PAM-<file>.json`` / ``results/RUN-SAM-<file>.json``,
+alongside the usual text tables.  Inspect or diff them with
+``python -m repro.obs.report``.  Tracing is passive, so the tables are
+bit-identical with and without ``--report``.
 """
 
 from __future__ import annotations
 
-import copy
+import os
+import time
 from pathlib import Path
 
 import pytest
@@ -25,11 +35,14 @@ from repro.core.comparison import (
     run_pam_queries,
     run_sam_queries,
 )
+from repro.core.stats import AccessStats
 from repro.core.testbed import (
     standard_pam_factories,
     standard_sam_factories,
     testbed_scale,
 )
+from repro.obs.export import RunReport, build_run_report
+from repro.obs.tracer import Tracer
 from repro.workloads.distributions import generate_point_file
 from repro.workloads.rect_distributions import generate_rect_file
 
@@ -38,6 +51,28 @@ RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
 _pam_cache: dict[str, dict[str, MethodResult]] = {}
 _sam_cache: dict[str, dict[str, MethodResult]] = {}
 _pam_built: dict[tuple[str, str], object] = {}
+_pam_reports: dict[str, RunReport] = {}
+_sam_reports: dict[str, RunReport] = {}
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--report",
+        action="store_true",
+        default=False,
+        help="trace the bench runs and write results/RUN-*.json run reports",
+    )
+
+
+def pytest_configure(config):
+    # Propagated via the environment because pytest and the bench
+    # modules may import this conftest as two distinct module objects.
+    if config.getoption("--report", default=False):
+        os.environ["REPRO_RUN_REPORT"] = "1"
+
+
+def reports_enabled() -> bool:
+    """Whether this bench session writes RunReport JSON files."""
+    return os.environ.get("REPRO_RUN_REPORT", "") == "1"
 
 
 def bench_scale() -> int:
@@ -50,22 +85,63 @@ def pam_results(file_name: str) -> dict[str, MethodResult]:
     if file_name in _pam_cache:
         return _pam_cache[file_name]
     points = generate_point_file(file_name, bench_scale())
+    tracer = Tracer() if reports_enabled() else None
     results: dict[str, MethodResult] = {}
+    totals: dict[str, AccessStats] = {}
+    timers: dict[str, float] = {}
     for name, factory in standard_pam_factories().items():
-        pam = build_pam(factory, points)
+        if tracer is not None:
+            tracer.set_context(structure=name)
+        started = time.perf_counter()
+        pam = build_pam(factory, points, tracer=tracer)
+        timers[f"{name}/build"] = time.perf_counter() - started
         _pam_built[(file_name, name)] = pam
-        result = run_pam_queries(pam)
+        started = time.perf_counter()
+        result = run_pam_queries(pam, tracer=tracer)
+        timers[f"{name}/queries"] = time.perf_counter() - started
         result.name = name
         results[name] = result
+        totals[name] = pam.store.stats.snapshot()
         if name == "BUDDY":
             # The packed variant is derived from the built BUDDY file,
-            # exactly as the authors generated it by simulation.
+            # exactly as the authors generated it by simulation.  It
+            # shares BUDDY's store, so its totals are the delta from
+            # this point on (pack + its own query run).
+            before = pam.store.stats.snapshot()
+            if tracer is not None:
+                tracer.set_context(structure="BUDDY+", op="pack")
+            started = time.perf_counter()
             pam.pack()
-            packed = run_pam_queries(pam)
+            timers["BUDDY+/build"] = time.perf_counter() - started
+            started = time.perf_counter()
+            packed = run_pam_queries(pam, tracer=tracer)
+            timers["BUDDY+/queries"] = time.perf_counter() - started
             packed.name = "BUDDY+"
             results["BUDDY+"] = packed
+            totals["BUDDY+"] = pam.store.stats - before
+    if tracer is not None:
+        report = build_run_report(
+            label=f"PAM {file_name}",
+            kind="pam",
+            scale=len(points),
+            page_size=512,
+            seed=101,
+            results=results,
+            totals=totals,
+            spans=tracer.finish(),
+            timers=timers,
+            meta={"file": file_name, "bench_scale": bench_scale()},
+        )
+        _pam_reports[file_name] = report
+        report.save(RESULTS_DIR / f"RUN-PAM-{file_name}.json")
     _pam_cache[file_name] = results
     return results
+
+
+def pam_report(file_name: str) -> RunReport | None:
+    """The RunReport of :func:`pam_results` (``None`` without --report)."""
+    pam_results(file_name)
+    return _pam_reports.get(file_name)
 
 
 def built_pam(file_name: str, name: str):
@@ -79,14 +155,45 @@ def sam_results(file_name: str) -> dict[str, MethodResult]:
     if file_name in _sam_cache:
         return _sam_cache[file_name]
     rects = generate_rect_file(file_name, bench_scale())
+    tracer = Tracer() if reports_enabled() else None
     results: dict[str, MethodResult] = {}
+    totals: dict[str, AccessStats] = {}
+    timers: dict[str, float] = {}
     for name, factory in standard_sam_factories().items():
-        sam = build_sam(factory, rects)
-        result = run_sam_queries(sam)
+        if tracer is not None:
+            tracer.set_context(structure=name)
+        started = time.perf_counter()
+        sam = build_sam(factory, rects, tracer=tracer)
+        timers[f"{name}/build"] = time.perf_counter() - started
+        started = time.perf_counter()
+        result = run_sam_queries(sam, tracer=tracer)
+        timers[f"{name}/queries"] = time.perf_counter() - started
         result.name = name
         results[name] = result
+        totals[name] = sam.store.stats.snapshot()
+    if tracer is not None:
+        report = build_run_report(
+            label=f"SAM {file_name}",
+            kind="sam",
+            scale=len(rects),
+            page_size=512,
+            seed=107,
+            results=results,
+            totals=totals,
+            spans=tracer.finish(),
+            timers=timers,
+            meta={"file": file_name, "bench_scale": bench_scale()},
+        )
+        _sam_reports[file_name] = report
+        report.save(RESULTS_DIR / f"RUN-SAM-{file_name}.json")
     _sam_cache[file_name] = results
     return results
+
+
+def sam_report(file_name: str) -> RunReport | None:
+    """The RunReport of :func:`sam_results` (``None`` without --report)."""
+    sam_results(file_name)
+    return _sam_reports.get(file_name)
 
 
 def emit(experiment_id: str, text: str) -> None:

@@ -22,6 +22,7 @@ evaluation section.  See ``DESIGN.md`` for the system inventory and
 from repro.core.interfaces import PointAccessMethod, SpatialAccessMethod
 from repro.core.stats import AccessStats, BuildMetrics
 from repro.geometry.rect import Rect
+from repro.obs import MetricsRegistry, RunReport, Tracer
 from repro.pam.bang import BangFile
 from repro.pam.buddytree import BuddyTree
 from repro.pam.gridfile import GridFile
@@ -48,6 +49,7 @@ __all__ = [
     "GridFile",
     "HBTree",
     "KdBTree",
+    "MetricsRegistry",
     "MultilevelGridFile",
     "OverlappingPlop",
     "PageStore",
@@ -57,7 +59,9 @@ __all__ = [
     "RPlusTree",
     "RTree",
     "Rect",
+    "RunReport",
     "SpatialAccessMethod",
+    "Tracer",
     "TransformationSAM",
     "TwinGridFile",
     "TwoLevelGridFile",

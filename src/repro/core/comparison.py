@@ -68,9 +68,20 @@ def build_pam(
     points: Sequence[tuple[float, ...]],
     dims: int = 2,
     page_size: int = 512,
+    tracer=None,
 ) -> PointAccessMethod:
-    """Build a fresh PAM over its own page store and insert all points."""
-    pam = factory(PageStore(page_size), dims=dims)
+    """Build a fresh PAM over its own page store and insert all points.
+
+    ``tracer`` (a :class:`repro.obs.Tracer`) is installed as the new
+    store's observer and labels the build's spans ``op="insert"``;
+    tracing is passive, so the build is identical with or without it.
+    """
+    store = PageStore(page_size)
+    if tracer is not None:
+        tracer.set_context(op="setup").attach(store)
+    pam = factory(store, dims=dims)
+    if tracer is not None:
+        tracer.set_context(op="insert")
     for rid, point in enumerate(points):
         pam.insert(point, rid)
     return pam
@@ -81,18 +92,32 @@ def build_sam(
     rects: Sequence[Rect],
     dims: int = 2,
     page_size: int = 512,
+    tracer=None,
 ) -> SpatialAccessMethod:
     """Build a fresh SAM over its own page store and insert all rectangles."""
-    sam = factory(PageStore(page_size), dims=dims)
+    store = PageStore(page_size)
+    if tracer is not None:
+        tracer.set_context(op="setup").attach(store)
+    sam = factory(store, dims=dims)
+    if tracer is not None:
+        tracer.set_context(op="insert")
     for rid, rect in enumerate(rects):
         sam.insert(rect, rid)
     return sam
 
 
-def run_pam_queries(pam: PointAccessMethod, seed: int = 101) -> MethodResult:
-    """Run the five query files of §3 against a built PAM."""
+def run_pam_queries(
+    pam: PointAccessMethod, seed: int = 101, tracer=None
+) -> MethodResult:
+    """Run the five query files of §3 against a built PAM.
+
+    With a ``tracer``, each query file's operations are recorded as
+    spans labelled with the file's query type.
+    """
     result = MethodResult(type(pam).__name__, pam.metrics())
     for label, volume in zip(PAM_QUERY_TYPES[:3], RANGE_QUERY_VOLUMES):
+        if tracer is not None:
+            tracer.set_context(op=label)
         queries = generate_range_queries(volume, seed=seed)
         total_cost = total_hits = 0
         for rect in queries:
@@ -102,6 +127,8 @@ def run_pam_queries(pam: PointAccessMethod, seed: int = 101) -> MethodResult:
         result.query_costs[label] = total_cost / len(queries)
         result.query_results[label] = total_hits
     for label, axis in (("pm_x", 0), ("pm_y", 1)):
+        if tracer is not None:
+            tracer.set_context(op=label)
         queries = generate_partial_match_queries(axis, seed=seed + 2)
         total_cost = total_hits = 0
         for spec in queries:
@@ -113,11 +140,15 @@ def run_pam_queries(pam: PointAccessMethod, seed: int = 101) -> MethodResult:
     return result
 
 
-def run_sam_queries(sam: SpatialAccessMethod, seed: int = 107) -> MethodResult:
+def run_sam_queries(
+    sam: SpatialAccessMethod, seed: int = 107, tracer=None
+) -> MethodResult:
     """Run the four query types of §7 against a built SAM."""
     workload = generate_rect_query_workload(seed=seed)
     result = MethodResult(type(sam).__name__, sam.metrics())
     total_cost = total_hits = 0
+    if tracer is not None:
+        tracer.set_context(op="point")
     for point in workload["points"]:
         cost, hits = measure(sam.store, lambda p=point: sam.point_query(p))
         total_cost += cost
@@ -130,6 +161,8 @@ def run_sam_queries(sam: SpatialAccessMethod, seed: int = 107) -> MethodResult:
         "containment": sam.containment,
     }
     for label, operation in operations.items():
+        if tracer is not None:
+            tracer.set_context(op=label)
         total_cost = total_hits = 0
         for rect in workload["rectangles"]:
             cost, hits = measure(sam.store, lambda r=rect: operation(r))
@@ -144,12 +177,20 @@ def run_pam_experiment(
     factories: dict[str, Callable[..., PointAccessMethod]],
     points: Sequence[tuple[float, ...]],
     seed: int = 101,
+    tracer=None,
 ) -> dict[str, MethodResult]:
-    """Build every PAM on the same data file and run the query files."""
+    """Build every PAM on the same data file and run the query files.
+
+    A shared ``tracer`` attributes each structure's spans to its
+    factory name (see :func:`repro.obs.runner.traced_pam_run` for the
+    variant that also assembles a :class:`repro.obs.RunReport`).
+    """
     results = {}
     for name, factory in factories.items():
-        pam = build_pam(factory, points)
-        result = run_pam_queries(pam, seed=seed)
+        if tracer is not None:
+            tracer.set_context(structure=name)
+        pam = build_pam(factory, points, tracer=tracer)
+        result = run_pam_queries(pam, seed=seed, tracer=tracer)
         result.name = name
         results[name] = result
     return results
@@ -159,12 +200,15 @@ def run_sam_experiment(
     factories: dict[str, Callable[..., SpatialAccessMethod]],
     rects: Sequence[Rect],
     seed: int = 107,
+    tracer=None,
 ) -> dict[str, MethodResult]:
     """Build every SAM on the same rectangle file and run the queries."""
     results = {}
     for name, factory in factories.items():
-        sam = build_sam(factory, rects)
-        result = run_sam_queries(sam, seed=seed)
+        if tracer is not None:
+            tracer.set_context(structure=name)
+        sam = build_sam(factory, rects, tracer=tracer)
+        result = run_sam_queries(sam, seed=seed, tracer=tracer)
         result.name = name
         results[name] = result
     return results

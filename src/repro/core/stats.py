@@ -2,7 +2,8 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
+from typing import Mapping
 
 __all__ = ["AccessStats", "BuildMetrics"]
 
@@ -59,12 +60,41 @@ class AccessStats:
             self.data_reads, self.data_writes, self.dir_reads, self.dir_writes
         )
 
+    def as_dict(self) -> dict[str, int]:
+        """The four counters as a JSON-serialisable dict."""
+        return {
+            "data_reads": self.data_reads,
+            "data_writes": self.data_writes,
+            "dir_reads": self.dir_reads,
+            "dir_writes": self.dir_writes,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, int]) -> "AccessStats":
+        """Inverse of :meth:`as_dict` (extra keys are ignored)."""
+        return cls(
+            data["data_reads"],
+            data["data_writes"],
+            data["dir_reads"],
+            data["dir_writes"],
+        )
+
     def __sub__(self, other: "AccessStats") -> "AccessStats":
         return AccessStats(
             self.data_reads - other.data_reads,
             self.data_writes - other.data_writes,
             self.dir_reads - other.dir_reads,
             self.dir_writes - other.dir_writes,
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, AccessStats):
+            return NotImplemented
+        return (
+            self.data_reads == other.data_reads
+            and self.data_writes == other.data_writes
+            and self.dir_reads == other.dir_reads
+            and self.dir_writes == other.dir_writes
         )
 
     def __repr__(self) -> str:
@@ -107,3 +137,7 @@ class BuildMetrics:
     data_pages: int
     directory_pages: int
     pinned_pages: int
+
+    def as_dict(self) -> dict:
+        """All figures as a JSON-serialisable dict."""
+        return asdict(self)

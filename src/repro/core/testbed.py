@@ -10,6 +10,12 @@ the compared structures under the paper's table abbreviations;
 :func:`testbed_scale` reads the ``REPRO_BENCH_SCALE`` environment
 variable so the benches run at laptop scale by default and at the
 paper's 100 000 records on demand.
+
+:func:`run_standard_pam_testbed` / :func:`run_standard_sam_testbed`
+run the whole standard comparison under a tracer and return the usual
+results together with a machine-readable
+:class:`~repro.obs.export.RunReport` (per-operation access histograms,
+percentiles, timings and exact totals).
 """
 
 from __future__ import annotations
@@ -29,6 +35,8 @@ from repro.sam.transformation import TransformationSAM
 __all__ = [
     "standard_pam_factories",
     "standard_sam_factories",
+    "run_standard_pam_testbed",
+    "run_standard_sam_testbed",
     "testbed_scale",
 ]
 
@@ -57,6 +65,39 @@ def standard_pam_factories() -> dict[str, Callable[..., PointAccessMethod]]:
         "GRID": lambda store, dims=2: TwoLevelGridFile(store, dims),
         "BUDDY": lambda store, dims=2: BuddyTree(store, dims),
     }
+
+
+def run_standard_pam_testbed(
+    points,
+    seed: int = 101,
+    label: str = "standard PAM testbed",
+    page_size: int = 512,
+):
+    """Traced run of the standard PAM comparison on ``points``.
+
+    Returns ``(results, report)`` — see
+    :func:`repro.obs.runner.traced_pam_run`.  Imported lazily so plain
+    testbed users never touch the observability layer.
+    """
+    from repro.obs.runner import traced_pam_run
+
+    return traced_pam_run(
+        standard_pam_factories(), points, seed=seed, label=label, page_size=page_size
+    )
+
+
+def run_standard_sam_testbed(
+    rects,
+    seed: int = 107,
+    label: str = "standard SAM testbed",
+    page_size: int = 512,
+):
+    """Traced run of the standard SAM comparison on ``rects``."""
+    from repro.obs.runner import traced_sam_run
+
+    return traced_sam_run(
+        standard_sam_factories(), rects, seed=seed, label=label, page_size=page_size
+    )
 
 
 def standard_sam_factories() -> dict[str, Callable[..., SpatialAccessMethod]]:

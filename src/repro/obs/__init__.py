@@ -1,0 +1,63 @@
+"""Observability for the access-method testbed.
+
+The paper's entire argument rests on *counting page accesses*, so this
+package makes those counts observable at every granularity:
+
+* :mod:`repro.obs.tracer` — a low-overhead :class:`Tracer` that attaches
+  to a :class:`~repro.storage.pagestore.PageStore` as its observer and
+  records one :class:`Span` per bracketed operation (insert / delete /
+  query), optionally down to individual page-access events.
+* :mod:`repro.obs.metrics` — a :class:`MetricsRegistry` of counters,
+  fixed-bucket histograms with exact percentile summaries
+  (p50/p90/p99/max) and wall-clock timers.
+* :mod:`repro.obs.export` — exporters: a JSONL trace sink, human-readable
+  table rendering and the structured :class:`RunReport` JSON that every
+  benchmark emits alongside its ``results/*.txt`` table.
+* :mod:`repro.obs.runner` — :func:`traced_pam_run` /
+  :func:`traced_sam_run`, which wrap the §3/§7 experiment driver with a
+  tracer and produce a :class:`RunReport`.
+* :mod:`repro.obs.report` — the ``python -m repro.obs.report`` CLI that
+  prints, validates and diffs run reports.
+
+Tracing is strictly additive: the observer hook never changes which
+accesses are charged, so an instrumented run reports exactly the same
+:class:`~repro.core.stats.AccessStats` as an uninstrumented one.
+"""
+
+from repro.obs.export import (
+    RUN_REPORT_SCHEMA,
+    JsonlTraceSink,
+    RunReport,
+    build_run_report,
+    summarise_spans,
+    validate_run_report,
+)
+from repro.obs.metrics import (
+    DEFAULT_ACCESS_BUCKETS,
+    Counter,
+    Histogram,
+    MetricsRegistry,
+    Timer,
+)
+from repro.obs.runner import traced_pam_run, traced_sam_run
+from repro.obs.tracer import AccessEvent, Span, StoreObserver, Tracer
+
+__all__ = [
+    "AccessEvent",
+    "Counter",
+    "DEFAULT_ACCESS_BUCKETS",
+    "Histogram",
+    "JsonlTraceSink",
+    "MetricsRegistry",
+    "RUN_REPORT_SCHEMA",
+    "RunReport",
+    "Span",
+    "StoreObserver",
+    "Timer",
+    "Tracer",
+    "build_run_report",
+    "summarise_spans",
+    "traced_pam_run",
+    "traced_sam_run",
+    "validate_run_report",
+]

@@ -1,0 +1,336 @@
+"""Exporters: JSONL traces, run reports and table rendering.
+
+A :class:`RunReport` is the machine-readable counterpart of the
+``results/*.txt`` tables — one JSON document per benchmark run holding,
+for every structure, the build metrics, per-operation access
+histograms with exact percentiles, wall-clock timings and the final
+:class:`~repro.core.stats.AccessStats` totals of the structure's page
+store.  Reports are self-describing via ``schema`` =
+:data:`RUN_REPORT_SCHEMA`; :func:`validate_run_report` checks the shape
+without any third-party schema library.
+
+Report layout (v1)::
+
+    {
+      "schema": "repro.obs/run-report/v1",
+      "label":  "PAM uniform",
+      "kind":   "pam" | "sam",
+      "scale":  10000,            # records in the data file
+      "page_size": 512,
+      "seed":   101,
+      "meta":   {...},            # free-form
+      "structures": {
+        "GRID": {
+          "build":   {"metrics": {...BuildMetrics...},
+                      "accesses_per_insert": {...histogram...},
+                      "seconds": 1.23},
+          "queries": {"range_1%": {"accesses": {...histogram...},
+                                   "results": 57, "seconds": 0.45}, ...},
+          "totals":  {...AccessStats...}   # whole build+query run
+        }, ...
+      }
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import IO, Iterable, Mapping
+
+from repro.core.stats import AccessStats
+from repro.obs.metrics import DEFAULT_ACCESS_BUCKETS, Histogram
+from repro.obs.tracer import Span
+
+__all__ = [
+    "RUN_REPORT_SCHEMA",
+    "JsonlTraceSink",
+    "RunReport",
+    "build_run_report",
+    "summarise_spans",
+    "validate_run_report",
+]
+
+#: Schema identifier embedded in every report.
+RUN_REPORT_SCHEMA = "repro.obs/run-report/v1"
+
+
+class JsonlTraceSink:
+    """Stream spans to a file, one JSON object per line.
+
+    Usable directly as the ``sink`` of a :class:`repro.obs.tracer.Tracer`
+    and as a context manager::
+
+        with JsonlTraceSink(path) as sink:
+            tracer = Tracer(record_events=True, sink=sink)
+            ...
+    """
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self._fh: IO[str] | None = self.path.open("w", encoding="utf-8")
+        self.spans_written = 0
+
+    def write_span(self, span: Span) -> None:
+        if self._fh is None:
+            raise ValueError("sink is closed")
+        self._fh.write(json.dumps(span.as_dict(), separators=(",", ":")) + "\n")
+        self.spans_written += 1
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "JsonlTraceSink":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def summarise_spans(
+    spans: Iterable[Span],
+    buckets: tuple[float, ...] = DEFAULT_ACCESS_BUCKETS,
+) -> dict[str, dict[str, Histogram]]:
+    """Histogram of charged accesses per operation: structure -> op -> h."""
+    out: dict[str, dict[str, Histogram]] = {}
+    for span in spans:
+        per_op = out.setdefault(span.structure, {})
+        hist = per_op.get(span.op)
+        if hist is None:
+            hist = per_op[span.op] = Histogram(
+                f"{span.structure}/{span.op}/accesses", buckets
+            )
+        hist.observe(span.accesses)
+    return out
+
+
+@dataclass
+class RunReport:
+    """A structured, versioned record of one benchmark run."""
+
+    label: str
+    kind: str
+    scale: int
+    page_size: int
+    seed: int | None
+    structures: dict[str, dict]
+    meta: dict = field(default_factory=dict)
+    schema: str = RUN_REPORT_SCHEMA
+
+    # -- (de)serialisation -------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": self.schema,
+            "label": self.label,
+            "kind": self.kind,
+            "scale": self.scale,
+            "page_size": self.page_size,
+            "seed": self.seed,
+            "meta": self.meta,
+            "structures": self.structures,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "RunReport":
+        problems = validate_run_report(data)
+        if problems:
+            raise ValueError("invalid run report: " + "; ".join(problems))
+        return cls(
+            label=data["label"],
+            kind=data["kind"],
+            scale=data["scale"],
+            page_size=data["page_size"],
+            seed=data.get("seed"),
+            structures=data["structures"],
+            meta=data.get("meta", {}),
+            schema=data["schema"],
+        )
+
+    def save(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.to_dict(), indent=2) + "\n", encoding="utf-8")
+        return path
+
+    @classmethod
+    def load(cls, path: str | Path) -> "RunReport":
+        return cls.from_dict(json.loads(Path(path).read_text(encoding="utf-8")))
+
+    # -- convenience accessors --------------------------------------------
+
+    def totals(self, structure: str) -> AccessStats:
+        """The structure's final page-store counters, as AccessStats."""
+        t = self.structures[structure]["totals"]
+        return AccessStats(
+            t["data_reads"], t["data_writes"], t["dir_reads"], t["dir_writes"]
+        )
+
+    def query_labels(self, structure: str) -> list[str]:
+        return list(self.structures[structure].get("queries", {}))
+
+    # -- rendering ---------------------------------------------------------
+
+    def render(self) -> str:
+        """Human-readable summary: one block per structure."""
+        lines = [
+            f"run report: {self.label} ({self.kind}, {self.scale} records, "
+            f"{self.page_size} B pages, schema {self.schema})"
+        ]
+        for name, entry in self.structures.items():
+            lines.append("")
+            totals = entry.get("totals", {})
+            total = sum(totals.values()) if totals else 0
+            lines.append(f"{name} — {total} total page accesses")
+            build = entry.get("build", {})
+            hist = build.get("accesses_per_insert")
+            if hist:
+                lines.append(
+                    "  build   "
+                    + _histogram_row("insert", hist)
+                    + f"{build.get('seconds', 0.0):>10.3f}s"
+                )
+            queries = entry.get("queries", {})
+            if queries:
+                lines.append(
+                    f"  queries {'op':14s}{'ops':>7s}{'mean':>9s}"
+                    f"{'p50':>7s}{'p90':>7s}{'p99':>7s}{'max':>7s}{'results':>9s}"
+                )
+            for label, q in queries.items():
+                lines.append(
+                    "          "
+                    + _histogram_row(label, q["accesses"])
+                    + f"{q.get('results', 0):>9d}"
+                )
+        return "\n".join(lines)
+
+
+def _histogram_row(label: str, hist: Mapping) -> str:
+    return (
+        f"{label:14s}{hist['count']:>7d}{hist['mean']:>9.2f}"
+        f"{hist['p50']:>7.0f}{hist['p90']:>7.0f}{hist['p99']:>7.0f}"
+        f"{hist['max']:>7.0f}"
+    )
+
+
+# -- report assembly -------------------------------------------------------
+
+_STATS_KEYS = ("data_reads", "data_writes", "dir_reads", "dir_writes")
+_HIST_KEYS = ("count", "sum", "min", "max", "mean", "p50", "p90", "p99", "buckets")
+
+
+def build_run_report(
+    *,
+    label: str,
+    kind: str,
+    scale: int,
+    page_size: int,
+    seed: int | None,
+    results: Mapping[str, "object"],
+    totals: Mapping[str, AccessStats],
+    spans: Iterable[Span],
+    timers: Mapping[str, float] | None = None,
+    meta: Mapping | None = None,
+    buckets: tuple[float, ...] = DEFAULT_ACCESS_BUCKETS,
+) -> RunReport:
+    """Assemble a :class:`RunReport` from an experiment's artefacts.
+
+    ``results`` maps structure name to
+    :class:`~repro.core.comparison.MethodResult`; ``totals`` maps it to
+    the structure's final store counters (use ``store.stats.snapshot()``,
+    or a delta when several structures share one store); ``timers`` maps
+    ``"<structure>/build"`` / ``"<structure>/queries"`` to seconds.
+    """
+    timers = dict(timers or {})
+    histograms = summarise_spans(spans, buckets)
+    structures: dict[str, dict] = {}
+    for name, result in results.items():
+        per_op = histograms.get(name, {})
+        insert_hist = per_op.get("insert")
+        entry: dict = {
+            "build": {
+                "metrics": result.metrics.as_dict(),
+                "seconds": timers.get(f"{name}/build", 0.0),
+            },
+            "queries": {},
+            "totals": totals[name].as_dict(),
+        }
+        if insert_hist is not None:
+            entry["build"]["accesses_per_insert"] = insert_hist.as_dict()
+        query_seconds = timers.get(f"{name}/queries", 0.0)
+        for q_label, cost in result.query_costs.items():
+            hist = per_op.get(q_label)
+            if hist is None:
+                continue
+            entry["queries"][q_label] = {
+                "accesses": hist.as_dict(),
+                "results": result.query_results.get(q_label, 0),
+                "seconds": query_seconds / max(1, len(result.query_costs)),
+                "mean": cost,
+            }
+        structures[name] = entry
+    return RunReport(
+        label=label,
+        kind=kind,
+        scale=scale,
+        page_size=page_size,
+        seed=seed,
+        structures=structures,
+        meta=dict(meta or {}),
+    )
+
+
+# -- validation ------------------------------------------------------------
+
+
+def validate_run_report(data: Mapping) -> list[str]:
+    """Shape-check a run-report dict; returns problems ([] when valid)."""
+    problems: list[str] = []
+    if not isinstance(data, Mapping):
+        return ["report is not a JSON object"]
+    if data.get("schema") != RUN_REPORT_SCHEMA:
+        problems.append(
+            f"schema is {data.get('schema')!r}, expected {RUN_REPORT_SCHEMA!r}"
+        )
+    for key, types in (
+        ("label", str),
+        ("kind", str),
+        ("scale", int),
+        ("page_size", int),
+    ):
+        if not isinstance(data.get(key), types):
+            problems.append(f"missing or mistyped field {key!r}")
+    if not isinstance(data.get("structures"), Mapping):
+        problems.append("missing or mistyped field 'structures'")
+        return problems
+    for name, entry in data["structures"].items():
+        where = f"structures[{name!r}]"
+        if not isinstance(entry, Mapping):
+            problems.append(f"{where} is not an object")
+            continue
+        totals = entry.get("totals")
+        if not isinstance(totals, Mapping) or any(
+            not isinstance(totals.get(k), int) for k in _STATS_KEYS
+        ):
+            problems.append(f"{where}.totals must carry integer {_STATS_KEYS}")
+        build = entry.get("build")
+        if not isinstance(build, Mapping) or not isinstance(
+            build.get("metrics"), Mapping
+        ):
+            problems.append(f"{where}.build.metrics missing")
+        queries = entry.get("queries", {})
+        if not isinstance(queries, Mapping):
+            problems.append(f"{where}.queries is not an object")
+            continue
+        for q_label, q in queries.items():
+            accesses = q.get("accesses") if isinstance(q, Mapping) else None
+            if not isinstance(accesses, Mapping) or any(
+                k not in accesses for k in _HIST_KEYS
+            ):
+                problems.append(
+                    f"{where}.queries[{q_label!r}].accesses is not a histogram"
+                )
+    return problems

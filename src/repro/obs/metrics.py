@@ -1,0 +1,238 @@
+"""Counters, histograms and timers for the testbed.
+
+The registry follows the usual metrics vocabulary: a :class:`Counter`
+is a monotone total, a :class:`Histogram` buckets observations into
+fixed upper bounds *and* retains the raw samples so the percentile
+summaries (p50/p90/p99/max) are exact rather than bucket-interpolated
+— the runs here observe at most a few hundred thousand small integers,
+so exactness is cheap.  A :class:`Timer` accumulates wall-clock seconds.
+
+All objects are JSON-friendly via ``as_dict`` so they can be embedded
+in a :class:`repro.obs.export.RunReport`.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+
+__all__ = [
+    "DEFAULT_ACCESS_BUCKETS",
+    "Counter",
+    "Histogram",
+    "MetricsRegistry",
+    "Timer",
+]
+
+#: Power-of-two upper bounds for page-access histograms: queries cost a
+#: handful of accesses at laptop scale and a few thousand at the paper's
+#: 100 000 records, so a geometric ladder keeps every regime resolved.
+DEFAULT_ACCESS_BUCKETS = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096)
+
+
+class Counter:
+    """A named monotone counter."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self.value += amount
+
+    def as_dict(self) -> dict:
+        return {"value": self.value}
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name!r}, value={self.value})"
+
+
+class Histogram:
+    """Fixed-bucket histogram with exact percentile summaries.
+
+    ``buckets`` are inclusive upper bounds; one overflow bucket
+    (``+Inf``) is always appended.  Observations are also kept verbatim
+    (sorted lazily) so :meth:`percentile` is the exact nearest-rank
+    statistic.
+    """
+
+    __slots__ = ("name", "buckets", "bucket_counts", "_samples", "_sorted")
+
+    def __init__(self, name: str, buckets: tuple[float, ...] = DEFAULT_ACCESS_BUCKETS):
+        if not buckets or list(buckets) != sorted(buckets):
+            raise ValueError("buckets must be a non-empty ascending sequence")
+        self.name = name
+        self.buckets = tuple(buckets)
+        self.bucket_counts = [0] * (len(self.buckets) + 1)
+        self._samples: list[float] = []
+        self._sorted = True
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.bucket_counts[i] += 1
+                break
+        else:
+            self.bucket_counts[-1] += 1
+        if self._samples and value < self._samples[-1]:
+            self._sorted = False
+        self._samples.append(value)
+
+    # -- summary statistics ----------------------------------------------
+
+    @property
+    def count(self) -> int:
+        return len(self._samples)
+
+    @property
+    def sum(self) -> float:
+        return sum(self._samples)
+
+    @property
+    def min(self) -> float:
+        return min(self._samples) if self._samples else 0.0
+
+    @property
+    def max(self) -> float:
+        return max(self._samples) if self._samples else 0.0
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self._samples else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Exact nearest-rank percentile, ``q`` in [0, 100]."""
+        if not 0 <= q <= 100:
+            raise ValueError("q must be between 0 and 100")
+        if not self._samples:
+            return 0.0
+        if not self._sorted:
+            self._samples.sort()
+            self._sorted = True
+        rank = max(1, math.ceil(q / 100.0 * len(self._samples)))
+        return self._samples[rank - 1]
+
+    def summary(self) -> dict:
+        """The scalar summary embedded in run reports."""
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+            "p50": self.percentile(50),
+            "p90": self.percentile(90),
+            "p99": self.percentile(99),
+        }
+
+    def as_dict(self) -> dict:
+        out = self.summary()
+        bounds = [*map(float, self.buckets), math.inf]
+        out["buckets"] = [
+            {"le": "+Inf" if math.isinf(le) else le, "count": n}
+            for le, n in zip(bounds, self.bucket_counts)
+        ]
+        return out
+
+    def __repr__(self) -> str:
+        return f"Histogram({self.name!r}, count={self.count}, mean={self.mean:.2f})"
+
+
+class Timer:
+    """Accumulating wall-clock timer, usable as a context manager."""
+
+    __slots__ = ("name", "seconds", "count", "_started")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.seconds = 0.0
+        self.count = 0
+        self._started: float | None = None
+
+    def __enter__(self) -> "Timer":
+        self._started = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.seconds += time.perf_counter() - self._started
+        self.count += 1
+        self._started = None
+
+    def as_dict(self) -> dict:
+        return {"seconds": self.seconds, "count": self.count}
+
+    def __repr__(self) -> str:
+        return f"Timer({self.name!r}, seconds={self.seconds:.4f}, count={self.count})"
+
+
+class MetricsRegistry:
+    """Get-or-create registry of counters, histograms and timers."""
+
+    def __init__(self):
+        self._counters: dict[str, Counter] = {}
+        self._histograms: dict[str, Histogram] = {}
+        self._timers: dict[str, Timer] = {}
+
+    def counter(self, name: str) -> Counter:
+        try:
+            return self._counters[name]
+        except KeyError:
+            counter = self._counters[name] = Counter(name)
+            return counter
+
+    def histogram(
+        self, name: str, buckets: tuple[float, ...] = DEFAULT_ACCESS_BUCKETS
+    ) -> Histogram:
+        try:
+            return self._histograms[name]
+        except KeyError:
+            histogram = self._histograms[name] = Histogram(name, buckets)
+            return histogram
+
+    def timer(self, name: str) -> Timer:
+        try:
+            return self._timers[name]
+        except KeyError:
+            timer = self._timers[name] = Timer(name)
+            return timer
+
+    def timers(self) -> dict[str, Timer]:
+        """A snapshot of all registered timers by name."""
+        return dict(self._timers)
+
+    def as_dict(self) -> dict:
+        return {
+            "counters": {n: c.as_dict() for n, c in sorted(self._counters.items())},
+            "histograms": {n: h.as_dict() for n, h in sorted(self._histograms.items())},
+            "timers": {n: t.as_dict() for n, t in sorted(self._timers.items())},
+        }
+
+    def render(self) -> str:
+        """A human-readable dump of every registered metric."""
+        lines: list[str] = []
+        if self._counters:
+            lines.append(f"{'counter':40s}{'value':>12s}")
+            for name, counter in sorted(self._counters.items()):
+                lines.append(f"{name:40s}{counter.value:>12d}")
+        if self._histograms:
+            header = (
+                f"{'histogram':40s}{'count':>8s}{'mean':>10s}"
+                f"{'p50':>8s}{'p90':>8s}{'p99':>8s}{'max':>8s}"
+            )
+            lines.append(header)
+            for name, hist in sorted(self._histograms.items()):
+                lines.append(
+                    f"{name:40s}{hist.count:>8d}{hist.mean:>10.2f}"
+                    f"{hist.percentile(50):>8.0f}{hist.percentile(90):>8.0f}"
+                    f"{hist.percentile(99):>8.0f}{hist.max:>8.0f}"
+                )
+        if self._timers:
+            lines.append(f"{'timer':40s}{'seconds':>12s}{'count':>8s}")
+            for name, timer in sorted(self._timers.items()):
+                lines.append(f"{name:40s}{timer.seconds:>12.4f}{timer.count:>8d}")
+        return "\n".join(lines)

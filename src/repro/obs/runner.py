@@ -1,0 +1,130 @@
+"""Traced experiment runs: the §3/§7 driver plus observability.
+
+These helpers wrap :mod:`repro.core.comparison`'s build/query functions
+with a :class:`~repro.obs.tracer.Tracer` and wall-clock timers, and
+assemble the result into a :class:`~repro.obs.export.RunReport`.  The
+tracer only *observes* the page stores, so the returned
+:class:`~repro.core.comparison.MethodResult` objects — and every
+access count inside the report — are identical to an untraced run with
+the same data and seed.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.core.comparison import (
+    MethodResult,
+    build_pam,
+    build_sam,
+    run_pam_queries,
+    run_sam_queries,
+)
+from repro.core.interfaces import PointAccessMethod, SpatialAccessMethod
+from repro.core.stats import AccessStats
+from repro.geometry.rect import Rect
+from repro.obs.export import RunReport, build_run_report
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import Tracer
+
+__all__ = ["traced_pam_run", "traced_sam_run"]
+
+
+def _traced_run(
+    kind: str,
+    factories: dict,
+    data,
+    build,
+    run_queries,
+    *,
+    seed: int,
+    label: str,
+    page_size: int,
+    record_events: bool,
+    sink,
+    meta: dict | None,
+) -> tuple[dict[str, MethodResult], RunReport]:
+    tracer = Tracer(record_events=record_events, sink=sink)
+    registry = MetricsRegistry()
+    results: dict[str, MethodResult] = {}
+    totals: dict[str, AccessStats] = {}
+    for name, factory in factories.items():
+        tracer.set_context(structure=name, op="insert")
+        with registry.timer(f"{name}/build"):
+            method = build(factory, data, page_size=page_size, tracer=tracer)
+        with registry.timer(f"{name}/queries"):
+            result = run_queries(method, seed=seed, tracer=tracer)
+        result.name = name
+        results[name] = result
+        totals[name] = method.store.stats.snapshot()
+    return results, build_run_report(
+        label=label,
+        kind=kind,
+        scale=len(data),
+        page_size=page_size,
+        seed=seed,
+        results=results,
+        totals=totals,
+        spans=tracer.finish(),
+        timers={name: timer.seconds for name, timer in registry.timers().items()},
+        meta=meta,
+    )
+
+
+def traced_pam_run(
+    factories: dict[str, Callable[..., PointAccessMethod]],
+    points: Sequence[tuple[float, ...]],
+    *,
+    seed: int = 101,
+    label: str = "PAM run",
+    page_size: int = 512,
+    record_events: bool = False,
+    sink=None,
+    meta: dict | None = None,
+) -> tuple[dict[str, MethodResult], RunReport]:
+    """Build every PAM on ``points``, run the §3 query files, report.
+
+    Returns ``(results, report)`` where ``results`` is exactly what
+    :func:`repro.core.comparison.run_pam_experiment` would produce and
+    ``report`` adds per-operation histograms, timings and totals.
+    """
+    return _traced_run(
+        "pam",
+        factories,
+        points,
+        build_pam,
+        run_pam_queries,
+        seed=seed,
+        label=label,
+        page_size=page_size,
+        record_events=record_events,
+        sink=sink,
+        meta=meta,
+    )
+
+
+def traced_sam_run(
+    factories: dict[str, Callable[..., SpatialAccessMethod]],
+    rects: Sequence[Rect],
+    *,
+    seed: int = 107,
+    label: str = "SAM run",
+    page_size: int = 512,
+    record_events: bool = False,
+    sink=None,
+    meta: dict | None = None,
+) -> tuple[dict[str, MethodResult], RunReport]:
+    """Build every SAM on ``rects``, run the §7 query workload, report."""
+    return _traced_run(
+        "sam",
+        factories,
+        rects,
+        build_sam,
+        run_sam_queries,
+        seed=seed,
+        label=label,
+        page_size=page_size,
+        record_events=record_events,
+        sink=sink,
+        meta=meta,
+    )

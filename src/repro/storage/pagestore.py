@@ -19,6 +19,16 @@ the paper are built in:
 Access methods bracket every externally visible operation (insert,
 delete, query) with :meth:`PageStore.begin_operation`; everything read
 or written in between forms the new buffered path.
+
+**Observer hook** — the store accepts an optional :attr:`PageStore.observer`
+(see :class:`repro.obs.tracer.StoreObserver`): ``on_operation_begin(store)``
+fires at every operation bracket *before* the path buffer rotates, and
+``on_access(store, pid, kind, rw, charged, reason)`` fires on every page
+touch, whether it was charged or free (``reason`` is one of ``charged``,
+``pinned``, ``buffered``, ``path``, ``dedup``).  Observation is purely
+passive — it can never change which accesses are charged — and the
+default of ``None`` costs only one ``is not None`` test per touch, so
+uninstrumented runs are unaffected.
 """
 
 from __future__ import annotations
@@ -50,6 +60,9 @@ class PageStore:
         #: pages").
         self.path_buffer_limit = path_buffer_limit
         self.stats = AccessStats()
+        #: Optional passive observer (``repro.obs.tracer.StoreObserver``);
+        #: ``None`` keeps the store on its uninstrumented fast path.
+        self.observer: Any = None
         self._objects: dict[int, Any] = {}
         self._kinds: dict[int, PageKind] = {}
         self._pinned: set[int] = set()
@@ -116,7 +129,17 @@ class PageStore:
         The *tail* of the previous operation's accesses — at most
         :attr:`path_buffer_limit` pages, i.e. its final search path —
         stays buffered and can be re-read for free.
+
+        The tail is deterministic: pages enter the buffer in the order
+        of their *first* touch (read or write) within an operation, and
+        later touches of the same page — re-reads, reads after writes,
+        deduplicated repeat writes — never reorder it.  "Last
+        ``path_buffer_limit`` accessed pages" therefore means the last
+        ``path_buffer_limit`` *distinct* pages by first touch, which for
+        a tree descent is exactly the final root-to-leaf search path.
         """
+        if self.observer is not None:
+            self.observer.on_operation_begin(self)
         tail = list(self._buffer_cur)[-self.path_buffer_limit :]
         self._buffer_prev = set(tail)
         self._buffer_cur = {}
@@ -125,12 +148,30 @@ class PageStore:
     def read(self, pid: int) -> Any:
         """Fetch a page's object, charging a read unless it is buffered."""
         obj = self._objects[pid]
-        if pid in self._pinned or pid in self._buffer_cur:
+        if pid in self._pinned:
+            if self.observer is not None:
+                self.observer.on_access(
+                    self, pid, self._kinds[pid], "read", False, "pinned"
+                )
+            return obj
+        if pid in self._buffer_cur:
+            if self.observer is not None:
+                self.observer.on_access(
+                    self, pid, self._kinds[pid], "read", False, "buffered"
+                )
             return obj
         self._buffer_cur[pid] = None
         if pid in self._buffer_prev:
+            if self.observer is not None:
+                self.observer.on_access(
+                    self, pid, self._kinds[pid], "read", False, "path"
+                )
             return obj
         self.stats.record_read(self._kinds[pid] is PageKind.DATA)
+        if self.observer is not None:
+            self.observer.on_access(
+                self, pid, self._kinds[pid], "read", True, "charged"
+            )
         return obj
 
     def write(self, pid: int) -> None:
@@ -139,8 +180,22 @@ class PageStore:
         Repeated writes of the same page within one operation are charged
         once — a real system flushes each dirty page a single time.
         """
-        if pid in self._pinned or pid in self._written_this_op:
+        if pid in self._pinned:
+            if self.observer is not None:
+                self.observer.on_access(
+                    self, pid, self._kinds[pid], "write", False, "pinned"
+                )
+            return
+        if pid in self._written_this_op:
+            if self.observer is not None:
+                self.observer.on_access(
+                    self, pid, self._kinds[pid], "write", False, "dedup"
+                )
             return
         self._written_this_op.add(pid)
         self.stats.record_write(self._kinds[pid] is PageKind.DATA)
         self._buffer_cur[pid] = None
+        if self.observer is not None:
+            self.observer.on_access(
+                self, pid, self._kinds[pid], "write", True, "charged"
+            )

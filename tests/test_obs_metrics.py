@@ -1,0 +1,123 @@
+"""Tests for counters, histograms, timers and the registry."""
+
+import math
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_ACCESS_BUCKETS,
+    Counter,
+    Histogram,
+    MetricsRegistry,
+    Timer,
+)
+
+
+class TestCounter:
+    def test_inc(self):
+        c = Counter("ops")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_monotone(self):
+        with pytest.raises(ValueError):
+            Counter("ops").inc(-1)
+
+
+class TestHistogram:
+    def test_empty_summary(self):
+        h = Histogram("empty")
+        s = h.summary()
+        assert s["count"] == 0 and s["p99"] == 0.0 and s["mean"] == 0.0
+
+    def test_bucketing(self):
+        h = Histogram("x", buckets=(1, 2, 4))
+        for v in (0, 1, 2, 3, 4, 100):
+            h.observe(v)
+        # le=1: {0,1}, le=2: {2}, le=4: {3,4}, +Inf: {100}
+        assert h.bucket_counts == [2, 1, 2, 1]
+        bucket_dump = h.as_dict()["buckets"]
+        assert bucket_dump[-1]["le"] == "+Inf" and bucket_dump[-1]["count"] == 1
+
+    def test_exact_percentiles_nearest_rank(self):
+        h = Histogram("x")
+        for v in range(1, 101):  # 1..100
+            h.observe(v)
+        assert h.percentile(50) == 50
+        assert h.percentile(90) == 90
+        assert h.percentile(99) == 99
+        assert h.percentile(100) == 100
+        assert h.percentile(0) == 1  # lowest sample
+
+    def test_percentiles_unsorted_input(self):
+        h = Histogram("x")
+        for v in (9, 1, 5, 3, 7):
+            h.observe(v)
+        assert h.percentile(50) == 5
+        assert h.max == 9 and h.min == 1
+        h.observe(2)  # stays correct after further inserts
+        assert h.percentile(50) == 3
+
+    def test_summary_fields(self):
+        h = Histogram("x")
+        for v in (2, 4, 6):
+            h.observe(v)
+        s = h.summary()
+        assert s["count"] == 3 and s["sum"] == 12 and s["mean"] == 4.0
+        assert s["min"] == 2 and s["max"] == 6
+
+    def test_bad_buckets_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("x", buckets=())
+        with pytest.raises(ValueError):
+            Histogram("x", buckets=(4, 2, 1))
+
+    def test_bad_quantile_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("x").percentile(101)
+
+    def test_default_buckets_ascending(self):
+        assert list(DEFAULT_ACCESS_BUCKETS) == sorted(DEFAULT_ACCESS_BUCKETS)
+
+
+class TestTimer:
+    def test_accumulates(self):
+        t = Timer("build")
+        with t:
+            pass
+        with t:
+            pass
+        assert t.count == 2
+        assert t.seconds >= 0.0
+        assert math.isfinite(t.seconds)
+
+
+class TestRegistry:
+    def test_get_or_create(self):
+        r = MetricsRegistry()
+        assert r.counter("a") is r.counter("a")
+        assert r.histogram("h") is r.histogram("h")
+        assert r.timer("t") is r.timer("t")
+
+    def test_as_dict_shape(self):
+        r = MetricsRegistry()
+        r.counter("ops").inc(3)
+        r.histogram("accesses").observe(7)
+        with r.timer("wall"):
+            pass
+        d = r.as_dict()
+        assert d["counters"]["ops"]["value"] == 3
+        assert d["histograms"]["accesses"]["count"] == 1
+        assert d["timers"]["wall"]["count"] == 1
+
+    def test_render_mentions_every_metric(self):
+        r = MetricsRegistry()
+        r.counter("splits").inc()
+        r.histogram("accesses_per_query").observe(3)
+        with r.timer("build_seconds"):
+            pass
+        text = r.render()
+        for name in ("splits", "accesses_per_query", "build_seconds"):
+            assert name in text
+        assert "p99" in text

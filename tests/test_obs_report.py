@@ -1,0 +1,166 @@
+"""Tests for run reports, their schema, the traced runners and the CLI."""
+
+import copy
+import json
+
+import pytest
+
+from repro.core.comparison import build_pam, build_sam, run_pam_queries, run_sam_queries
+from repro.obs.export import (
+    RUN_REPORT_SCHEMA,
+    RunReport,
+    summarise_spans,
+    validate_run_report,
+)
+from repro.obs.report import diff_reports, main
+from repro.obs.runner import traced_pam_run, traced_sam_run
+from repro.obs.tracer import Span
+from repro.pam.buddytree import BuddyTree
+from repro.pam.twolevelgrid import TwoLevelGridFile
+from repro.sam.rtree import RTree
+
+from tests.conftest import make_points, make_rects
+
+PAM_FACTORIES = {
+    "GRID": lambda s, dims=2: TwoLevelGridFile(s, dims),
+    "BUDDY": lambda s, dims=2: BuddyTree(s, dims),
+}
+SAM_FACTORIES = {"R-Tree": lambda s, dims=2: RTree(s, dims)}
+
+
+@pytest.fixture(scope="module")
+def pam_run():
+    points = make_points(300, seed=3)
+    results, report = traced_pam_run(PAM_FACTORIES, points, seed=19, label="unit")
+    return points, results, report
+
+
+class TestSummariseSpans:
+    def test_groups_by_structure_and_op(self):
+        spans = [
+            Span("A", "insert", 0, data_writes=1),
+            Span("A", "insert", 1, data_writes=2),
+            Span("A", "query", 0, data_reads=5),
+            Span("B", "query", 0, data_reads=7),
+        ]
+        hists = summarise_spans(spans)
+        assert hists["A"]["insert"].count == 2
+        assert hists["A"]["insert"].sum == 3
+        assert hists["A"]["query"].max == 5
+        assert hists["B"]["query"].mean == 7
+
+
+class TestTracedRuns:
+    def test_results_identical_to_untraced(self, pam_run):
+        points, results, _ = pam_run
+        for name, factory in PAM_FACTORIES.items():
+            pam = build_pam(factory, points)
+            untraced = run_pam_queries(pam, seed=19)
+            assert untraced.query_costs == results[name].query_costs
+            assert untraced.query_results == results[name].query_results
+
+    def test_totals_exactly_match_untraced_access_stats(self, pam_run):
+        """Acceptance: report totals == untraced AccessStats, same seed."""
+        points, _, report = pam_run
+        for name, factory in PAM_FACTORIES.items():
+            pam = build_pam(factory, points)
+            run_pam_queries(pam, seed=19)
+            assert report.totals(name) == pam.store.stats
+
+    def test_report_query_histograms_consistent_with_means(self, pam_run):
+        _, results, report = pam_run
+        for name, result in results.items():
+            for label, cost in result.query_costs.items():
+                hist = report.structures[name]["queries"][label]["accesses"]
+                assert hist["mean"] == pytest.approx(cost)
+                assert hist["count"] == 20
+                for key in ("p50", "p90", "p99", "max"):
+                    assert hist[key] >= 0
+
+    def test_insert_histogram_counts_every_insert(self, pam_run):
+        points, _, report = pam_run
+        for entry in report.structures.values():
+            assert entry["build"]["accesses_per_insert"]["count"] == len(points)
+
+    def test_sam_run(self):
+        rects = make_rects(150, seed=9)
+        results, report = traced_sam_run(SAM_FACTORIES, rects, seed=23)
+        sam = build_sam(SAM_FACTORIES["R-Tree"], rects)
+        run_sam_queries(sam, seed=23)
+        assert report.totals("R-Tree") == sam.store.stats
+        assert report.kind == "sam"
+        assert set(report.query_labels("R-Tree")) == {
+            "point",
+            "intersection",
+            "enclosure",
+            "containment",
+        }
+
+
+class TestRunReportSerialisation:
+    def test_roundtrip(self, pam_run, tmp_path):
+        _, _, report = pam_run
+        path = report.save(tmp_path / "run.json")
+        loaded = RunReport.load(path)
+        assert loaded.to_dict() == report.to_dict()
+        assert loaded.schema == RUN_REPORT_SCHEMA
+
+    def test_validate_ok(self, pam_run):
+        _, _, report = pam_run
+        assert validate_run_report(report.to_dict()) == []
+
+    def test_validate_catches_problems(self, pam_run):
+        _, _, report = pam_run
+        data = copy.deepcopy(report.to_dict())
+        data["schema"] = "bogus/v0"
+        del data["structures"]["GRID"]["totals"]["dir_writes"]
+        problems = validate_run_report(data)
+        assert any("schema" in p for p in problems)
+        assert any("totals" in p for p in problems)
+        with pytest.raises(ValueError):
+            RunReport.from_dict(data)
+
+    def test_validate_not_an_object(self):
+        assert validate_run_report([]) == ["report is not a JSON object"]
+
+
+class TestReportCli:
+    def test_prints_percentiles_per_structure(self, pam_run, tmp_path, capsys):
+        """Acceptance: the CLI prints per-structure p50/p90/p99."""
+        _, _, report = pam_run
+        path = report.save(tmp_path / "run.json")
+        assert main([str(path)]) == 0
+        out = capsys.readouterr().out
+        for name in PAM_FACTORIES:
+            assert name in out
+        for column in ("p50", "p90", "p99", "max", "mean"):
+            assert column in out
+        assert "range_10%" in out
+
+    def test_validate_flag(self, pam_run, tmp_path, capsys):
+        _, _, report = pam_run
+        path = report.save(tmp_path / "run.json")
+        assert main(["--validate", str(path)]) == 0
+        assert "OK" in capsys.readouterr().out
+        broken = tmp_path / "broken.json"
+        broken.write_text(json.dumps({"schema": "nope"}), encoding="utf-8")
+        assert main(["--validate", str(broken)]) == 1
+        assert "INVALID" in capsys.readouterr().out
+
+    def test_diff_flags_regressions(self, pam_run, tmp_path, capsys):
+        _, _, report = pam_run
+        old = report.save(tmp_path / "old.json")
+        worse = copy.deepcopy(report.to_dict())
+        worse["structures"]["GRID"]["queries"]["range_1%"]["accesses"]["mean"] *= 2
+        new = tmp_path / "new.json"
+        new.write_text(json.dumps(worse), encoding="utf-8")
+
+        assert main([str(old), str(new)]) == 0  # no threshold: report only
+        assert main([str(old), str(new), "--fail-threshold", "5"]) == 2
+        out = capsys.readouterr().out
+        assert "REGRESSION" in out and "+100.0%" in out
+
+    def test_diff_rows(self, pam_run):
+        _, _, report = pam_run
+        rows = diff_reports(report, report)
+        assert rows and all(row["delta_pct"] == 0.0 for row in rows)

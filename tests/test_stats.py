@@ -34,6 +34,38 @@ class TestAccessStats:
     def test_repr(self):
         assert "data_reads=1" in repr(AccessStats(1, 0, 0, 0))
 
+    def test_equality(self):
+        assert AccessStats(1, 2, 3, 4) == AccessStats(1, 2, 3, 4)
+        assert AccessStats(1, 2, 3, 4) != AccessStats(1, 2, 3, 5)
+        assert AccessStats() != "not stats"
+
+    def test_snapshot_equals_original(self):
+        s = AccessStats(5, 6, 7, 8)
+        assert s.snapshot() == s
+
+    def test_as_dict(self):
+        s = AccessStats(1, 2, 3, 4)
+        assert s.as_dict() == {
+            "data_reads": 1,
+            "data_writes": 2,
+            "dir_reads": 3,
+            "dir_writes": 4,
+        }
+
+    def test_from_dict_roundtrip(self):
+        s = AccessStats(9, 8, 7, 6)
+        assert AccessStats.from_dict(s.as_dict()) == s
+
+    def test_as_dict_is_json_serialisable(self):
+        import json
+
+        assert json.loads(json.dumps(AccessStats(1, 0, 0, 2).as_dict())) == {
+            "data_reads": 1,
+            "data_writes": 0,
+            "dir_reads": 0,
+            "dir_writes": 2,
+        }
+
 
 class TestBuildMetrics:
     def test_frozen(self):
@@ -45,3 +77,23 @@ class TestBuildMetrics:
         except AttributeError:
             raised = True
         assert raised
+
+    def test_as_dict(self):
+        m = BuildMetrics(70.0, 2.5, 3.0, 2, 1000, 35, 1, 1)
+        d = m.as_dict()
+        assert d == {
+            "storage_utilization": 70.0,
+            "dir_data_ratio": 2.5,
+            "insert_cost": 3.0,
+            "height": 2,
+            "records": 1000,
+            "data_pages": 35,
+            "directory_pages": 1,
+            "pinned_pages": 1,
+        }
+
+    def test_as_dict_is_json_serialisable(self):
+        import json
+
+        m = BuildMetrics(70.0, 2.5, 3.0, 2, 1000, 35, 1, 1)
+        assert json.loads(json.dumps(m.as_dict()))["records"] == 1000
