@@ -18,6 +18,15 @@ run through :mod:`repro.obs` and writes one machine-readable
 alongside the usual text tables.  Inspect or diff them with
 ``python -m repro.obs.report``.  Tracing is passive, so the tables are
 bit-identical with and without ``--report``.
+
+**Parallel execution** — set ``REPRO_BENCH_WORKERS=N`` to fan each data
+file's independent (structure, build+query) cells out over ``N`` worker
+processes via :mod:`repro.parallel`, with a content-addressed build
+cache (``REPRO_BUILD_CACHE``; ``off`` disables) so repeated sessions
+skip finished cells.  The merge is deterministic: tables, totals and
+run-report access histograms are identical to the serial run; only the
+wall-clock timers differ.  The default of 1 keeps the historical
+bit-identical in-process path.
 """
 
 from __future__ import annotations
@@ -40,6 +49,7 @@ from repro.core.testbed import (
     standard_pam_factories,
     standard_sam_factories,
     testbed_scale,
+    testbed_workers,
 )
 from repro.obs.export import RunReport, build_run_report
 from repro.obs.tracer import Tracer
@@ -80,10 +90,56 @@ def bench_scale() -> int:
     return testbed_scale()
 
 
+def bench_workers() -> int:
+    """Worker processes per data file, from ``REPRO_BENCH_WORKERS``."""
+    return testbed_workers()
+
+
+def _parallel_results(kind: str, file_name: str) -> dict[str, MethodResult]:
+    """Parallel (and build-cached) equivalent of the serial bench loops.
+
+    Jobs replay the exact serial sequence per structure, so results,
+    totals and span histograms merge back indistinguishably; the
+    RunReport is assembled from the merged artefacts exactly as the
+    serial path assembles it from its own.
+    """
+    from repro.parallel.cache import cache_from_env
+    from repro.parallel.runner import run_pam_file, run_sam_file
+
+    run_file = run_pam_file if kind == "pam" else run_sam_file
+    outcome = run_file(
+        file_name,
+        scale=bench_scale(),
+        workers=bench_workers(),
+        cache=cache_from_env(),
+    )
+    if reports_enabled():
+        report = build_run_report(
+            label=f"{kind.upper()} {file_name}",
+            kind=kind,
+            scale=outcome.records,
+            page_size=512,
+            seed=101 if kind == "pam" else 107,
+            results=outcome.results,
+            totals=outcome.totals,
+            spans=outcome.spans,
+            timers=outcome.timers,
+            meta={"file": file_name, "bench_scale": bench_scale()},
+        )
+        reports = _pam_reports if kind == "pam" else _sam_reports
+        reports[file_name] = report
+        report.save(RESULTS_DIR / f"RUN-{kind.upper()}-{file_name}.json")
+    return outcome.results
+
+
 def pam_results(file_name: str) -> dict[str, MethodResult]:
     """Build every PAM (plus BUDDY+) on ``file_name`` and run the queries."""
     if file_name in _pam_cache:
         return _pam_cache[file_name]
+    if bench_workers() > 1:
+        results = _parallel_results("pam", file_name)
+        _pam_cache[file_name] = results
+        return results
     points = generate_point_file(file_name, bench_scale())
     tracer = Tracer() if reports_enabled() else None
     results: dict[str, MethodResult] = {}
@@ -145,15 +201,35 @@ def pam_report(file_name: str) -> RunReport | None:
 
 
 def built_pam(file_name: str, name: str):
-    """The cached built structure (after :func:`pam_results`)."""
+    """The cached built structure (after :func:`pam_results`).
+
+    In parallel sessions the structures are built inside worker
+    processes, so the representative copy that the ``pytest-benchmark``
+    timing fixture drives is rebuilt here on first demand (BUDDY is
+    packed afterwards, mirroring the serial session where BUDDY+ is
+    derived from the same object).
+    """
     pam_results(file_name)
-    return _pam_built[(file_name, name)]
+    key = (file_name, name)
+    if key not in _pam_built:
+        base = "BUDDY" if name == "BUDDY+" else name
+        factory = standard_pam_factories()[base]
+        points = generate_point_file(file_name, bench_scale())
+        pam = build_pam(factory, points)
+        if base == "BUDDY":
+            pam.pack()
+        _pam_built[key] = pam
+    return _pam_built[key]
 
 
 def sam_results(file_name: str) -> dict[str, MethodResult]:
     """Build every SAM on ``file_name`` and run the §7 query workload."""
     if file_name in _sam_cache:
         return _sam_cache[file_name]
+    if bench_workers() > 1:
+        results = _parallel_results("sam", file_name)
+        _sam_cache[file_name] = results
+        return results
     rects = generate_rect_file(file_name, bench_scale())
     tracer = Tracer() if reports_enabled() else None
     results: dict[str, MethodResult] = {}
@@ -211,7 +287,9 @@ def paper_vs_measured(
     columns: tuple[str, ...],
 ) -> str:
     """Two-row-per-structure table: the paper's value above ours."""
-    width = max(10, *(len(c) + 2 for c in columns))
+    # The list form keeps the floor at 10 even for an empty ``columns``
+    # tuple, where star-unpacking into max() would raise a TypeError.
+    width = max([10, *(len(c) + 2 for c in columns)])
     header = f"{'':14s}" + "".join(f"{c:>{width}s}" for c in columns)
     lines = [title, header]
     for name in measured:

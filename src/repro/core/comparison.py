@@ -178,13 +178,22 @@ def run_pam_experiment(
     points: Sequence[tuple[float, ...]],
     seed: int = 101,
     tracer=None,
+    workers: int = 1,
 ) -> dict[str, MethodResult]:
     """Build every PAM on the same data file and run the query files.
 
     A shared ``tracer`` attributes each structure's spans to its
     factory name (see :func:`repro.obs.runner.traced_pam_run` for the
     variant that also assembles a :class:`repro.obs.RunReport`).
+
+    ``workers > 1`` fans the structures out over a process pool via
+    :mod:`repro.parallel`; the factory *names* must then be registered
+    standard-testbed structures (job specs ship names, not closures),
+    and a ``tracer`` cannot be threaded through — spans stay inside the
+    workers and are only available via the parallel runner's own API.
     """
+    if workers > 1:
+        return _parallel_experiment("pam", factories, points, seed, tracer, workers)
     results = {}
     for name, factory in factories.items():
         if tracer is not None:
@@ -201,8 +210,15 @@ def run_sam_experiment(
     rects: Sequence[Rect],
     seed: int = 107,
     tracer=None,
+    workers: int = 1,
 ) -> dict[str, MethodResult]:
-    """Build every SAM on the same rectangle file and run the queries."""
+    """Build every SAM on the same rectangle file and run the queries.
+
+    ``workers > 1`` parallelises by structure exactly like
+    :func:`run_pam_experiment`.
+    """
+    if workers > 1:
+        return _parallel_experiment("sam", factories, rects, seed, tracer, workers)
     results = {}
     for name, factory in factories.items():
         if tracer is not None:
@@ -212,6 +228,23 @@ def run_sam_experiment(
         result.name = name
         results[name] = result
     return results
+
+
+def _parallel_experiment(
+    kind: str, factories: dict, data, seed: int, tracer, workers: int
+) -> dict[str, MethodResult]:
+    """Fan an experiment out by structure name via :mod:`repro.parallel`."""
+    if tracer is not None:
+        raise ValueError(
+            "a shared tracer cannot observe worker processes; run with "
+            "workers=1 or use repro.parallel.runner.traced_parallel_run"
+        )
+    from repro.parallel.runner import run_parallel_experiment
+
+    outcome = run_parallel_experiment(
+        kind, list(factories), data, seed=seed, workers=workers
+    )
+    return outcome.results
 
 
 def normalise(

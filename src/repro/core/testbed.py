@@ -38,6 +38,7 @@ __all__ = [
     "run_standard_pam_testbed",
     "run_standard_sam_testbed",
     "testbed_scale",
+    "testbed_workers",
 ]
 
 #: Default number of records in bench runs; the paper uses 100 000.
@@ -47,6 +48,19 @@ DEFAULT_SCALE = 10_000
 def testbed_scale() -> int:
     """Number of records per data file, from ``REPRO_BENCH_SCALE``."""
     return int(os.environ.get("REPRO_BENCH_SCALE", DEFAULT_SCALE))
+
+
+def testbed_workers() -> int:
+    """Worker processes per experiment, from ``REPRO_BENCH_WORKERS``.
+
+    1 (the default) keeps the historical single-process path; anything
+    larger fans each comparison out by structure via
+    :mod:`repro.parallel`, which is outcome-identical by construction.
+    """
+    try:
+        return max(1, int(os.environ.get("REPRO_BENCH_WORKERS", "1")))
+    except ValueError:
+        return 1
 
 
 def standard_pam_factories() -> dict[str, Callable[..., PointAccessMethod]]:
@@ -72,13 +86,29 @@ def run_standard_pam_testbed(
     seed: int = 101,
     label: str = "standard PAM testbed",
     page_size: int = 512,
+    workers: int | None = None,
 ):
     """Traced run of the standard PAM comparison on ``points``.
 
     Returns ``(results, report)`` — see
     :func:`repro.obs.runner.traced_pam_run`.  Imported lazily so plain
-    testbed users never touch the observability layer.
+    testbed users never touch the observability layer.  ``workers``
+    defaults to :func:`testbed_workers`; more than one fans the
+    structures out over a process pool with identical results.
     """
+    workers = testbed_workers() if workers is None else workers
+    if workers > 1:
+        from repro.parallel.runner import traced_parallel_run
+
+        return traced_parallel_run(
+            "pam",
+            list(standard_pam_factories()),
+            points,
+            seed=seed,
+            label=label,
+            page_size=page_size,
+            workers=workers,
+        )
     from repro.obs.runner import traced_pam_run
 
     return traced_pam_run(
@@ -91,8 +121,22 @@ def run_standard_sam_testbed(
     seed: int = 107,
     label: str = "standard SAM testbed",
     page_size: int = 512,
+    workers: int | None = None,
 ):
     """Traced run of the standard SAM comparison on ``rects``."""
+    workers = testbed_workers() if workers is None else workers
+    if workers > 1:
+        from repro.parallel.runner import traced_parallel_run
+
+        return traced_parallel_run(
+            "sam",
+            list(standard_sam_factories()),
+            rects,
+            seed=seed,
+            label=label,
+            page_size=page_size,
+            workers=workers,
+        )
     from repro.obs.runner import traced_sam_run
 
     return traced_sam_run(

@@ -27,12 +27,34 @@ __all__ = [
 ]
 
 
+#: dims -> 256-entry table spreading a byte's bits ``dims`` apart:
+#: bit ``i`` of the byte lands at bit ``i * dims`` of the entry.
+_SPREAD_TABLES: dict[int, list[int]] = {}
+
+
+def _spread_table(dims: int) -> list[int]:
+    table = _SPREAD_TABLES.get(dims)
+    if table is None:
+        table = _SPREAD_TABLES[dims] = [
+            sum(((byte >> i) & 1) << (i * dims) for i in range(8))
+            for byte in range(256)
+        ]
+    return table
+
+
 def z_value(point: Sequence[float], dims: int, bits_per_axis: int = 16) -> int:
     """Morton code of ``point`` with ``bits_per_axis`` bits per axis.
 
     Coordinates must lie in ``[0, 1]``; the value ``1.0`` is clamped to
     the last cell.  Interleaving is cyclic starting with axis 0, matching
     the halving order of :mod:`repro.geometry.blocks`.
+
+    Instead of assembling the code bit by bit (``dims * bits_per_axis``
+    shift-or steps), each quantized coordinate is spread through a
+    precomputed 256-entry table — one lookup per 8 coordinate bits —
+    and the spread axes are or-ed together: bit ``j`` of axis ``a``
+    lands at position ``j * dims + (dims - 1 - a)``, exactly the cyclic
+    MSB-first interleaving of the reference loop.
     """
     scale = 1 << bits_per_axis
     quantized = []
@@ -43,11 +65,18 @@ def z_value(point: Sequence[float], dims: int, bits_per_axis: int = 16) -> int:
         if q < 0:
             raise ValueError(f"coordinate {c} outside the unit cube")
         quantized.append(q)
+    table = _spread_table(dims)
     z = 0
-    for k in range(bits_per_axis):  # MSB first
-        for axis in range(dims):
-            bit = (quantized[axis] >> (bits_per_axis - 1 - k)) & 1
-            z = (z << 1) | bit
+    for axis in range(dims):
+        q = quantized[axis]
+        spread = table[q & 0xFF]
+        chunk = 0
+        q >>= 8
+        while q:
+            chunk += 1
+            spread |= table[q & 0xFF] << (8 * chunk * dims)
+            q >>= 8
+        z |= spread << (dims - 1 - axis)
     return z
 
 

@@ -172,6 +172,18 @@ class RunReport:
     def query_labels(self, structure: str) -> list[str]:
         return list(self.structures[structure].get("queries", {}))
 
+    def access_totals(self) -> dict[str, dict[str, int]]:
+        """Per-structure exact access counters, for cross-run comparison.
+
+        Two runs of the same experiment — serial or parallel, traced or
+        not — must agree on this projection exactly; it deliberately
+        excludes the wall-clock timers that legitimately differ.
+        """
+        return {
+            name: {key: entry["totals"][key] for key in _STATS_KEYS}
+            for name, entry in self.structures.items()
+        }
+
     # -- rendering ---------------------------------------------------------
 
     def render(self) -> str:

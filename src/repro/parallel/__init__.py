@@ -1,0 +1,68 @@
+"""Parallel experiment execution with a persistent build cache.
+
+The paper's Part I/II comparison is a grid of independent
+``(data file, structure)`` cells — each builds its own
+:class:`~repro.storage.pagestore.PageStore` from fixed seeds.  This
+package exploits that independence three ways:
+
+* :mod:`repro.parallel.jobs` — picklable :class:`JobSpec` descriptions
+  of one cell (names and seeds, never callables, so they survive a
+  ``spawn`` boundary) and the worker-side :func:`execute_job` that
+  replays the serial bench sequence exactly.
+* :mod:`repro.parallel.runner` — :func:`run_specs` fans specs out over
+  a process pool and :func:`merge_outcomes` folds job results back in
+  deterministic spec order, yielding tables, totals, timers and tracer
+  spans identical to a serial session.
+* :mod:`repro.parallel.cache` — a content-addressed on-disk
+  :class:`BuildCache` keyed by the spec plus a fingerprint of every
+  ``repro`` source file, so repeated bench sessions skip finished
+  cells entirely and code edits invalidate stale entries.
+* :mod:`repro.parallel.bench` — ``python -m repro.parallel.bench`` runs
+  the whole paper grid serially and in parallel, verifies the outputs
+  match, and records the wall-clock speedup in
+  ``results/BENCH_PARALLEL.json``.
+
+The benches opt in via ``REPRO_BENCH_WORKERS=N`` (default 1 keeps the
+bit-identical serial path) and place the cache via
+``REPRO_BUILD_CACHE`` (a directory, or ``off`` to disable).
+"""
+
+from repro.parallel.cache import BuildCache, cache_from_env, code_fingerprint
+from repro.parallel.jobs import (
+    JobResult,
+    JobSpec,
+    StructureOutcome,
+    execute_job,
+    pam_file_specs,
+    sam_file_specs,
+)
+from repro.parallel.runner import (
+    ExperimentOutcome,
+    default_workers,
+    merge_outcomes,
+    run_pam_file,
+    run_parallel_experiment,
+    run_sam_file,
+    run_specs,
+    traced_parallel_run,
+)
+
+__all__ = [
+    "BuildCache",
+    "ExperimentOutcome",
+    "JobResult",
+    "JobSpec",
+    "StructureOutcome",
+    "cache_from_env",
+    "code_fingerprint",
+    "default_workers",
+    "execute_job",
+    "merge_outcomes",
+    "pam_file_specs",
+    "run_pam_file",
+    "run_parallel_experiment",
+    "run_sam_file",
+    "run_specs",
+    "sam_file_specs",
+    "traced_parallel_run",
+]

@@ -1,0 +1,275 @@
+"""Picklable job specs and the worker-side executor.
+
+One :class:`JobSpec` names one independent cell of the paper's
+comparison grid — a ``(data file, structure)`` pair together with every
+parameter that determines its outcome (scale, page size, query seed).
+Specs carry *names*, never callables, so they cross a ``spawn`` process
+boundary; the worker resolves the structure through the standard
+testbed registries and regenerates the data file from its deterministic
+generator.  :func:`execute_job` then replays exactly the serial bench
+sequence — build, query files, and for BUDDY the derived BUDDY+ pack —
+under a private :class:`~repro.obs.tracer.Tracer`, so the merged spans,
+:class:`~repro.core.comparison.MethodResult` numbers and
+:class:`~repro.core.stats.AccessStats` totals are identical to a
+single-process run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pickle
+import time
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.core.comparison import (
+    MethodResult,
+    build_pam,
+    build_sam,
+    run_pam_queries,
+    run_sam_queries,
+)
+from repro.core.stats import AccessStats
+from repro.obs.tracer import Span, Tracer
+
+__all__ = [
+    "PAM_SEED",
+    "SAM_SEED",
+    "JobSpec",
+    "StructureOutcome",
+    "JobResult",
+    "data_digest",
+    "execute_job",
+    "load_job_data",
+    "resolve_factory",
+    "pam_file_specs",
+    "sam_file_specs",
+]
+
+#: Query seeds of the serial benches (`run_pam_queries`/`run_sam_queries`).
+PAM_SEED = 101
+SAM_SEED = 107
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """Everything that determines one build+query cell, by value.
+
+    ``file`` names a registered data file (regenerated in the worker);
+    for ad-hoc data shipped inline, ``file`` is ``None`` and
+    ``digest`` content-addresses the pickled records instead, so the
+    build cache stays sound either way.  ``derive_packed`` makes the
+    worker also produce the BUDDY+ row (pack + re-query on the same
+    store), which the serial bench derives from the built BUDDY file.
+    """
+
+    kind: str  # "pam" | "sam"
+    structure: str
+    scale: int
+    page_size: int = 512
+    seed: int | None = None
+    file: str | None = None
+    digest: str | None = None
+    derive_packed: bool = False
+
+    def __post_init__(self):
+        if self.kind not in ("pam", "sam"):
+            raise ValueError(f"kind must be 'pam' or 'sam', not {self.kind!r}")
+        if self.file is None and self.digest is None:
+            raise ValueError("a JobSpec needs a file name or a data digest")
+
+    @property
+    def query_seed(self) -> int:
+        return self.seed if self.seed is not None else (
+            PAM_SEED if self.kind == "pam" else SAM_SEED
+        )
+
+    def cache_fields(self) -> dict:
+        """The key material for :class:`~repro.parallel.cache.BuildCache`."""
+        return {
+            "kind": self.kind,
+            "structure": self.structure,
+            "scale": self.scale,
+            "page_size": self.page_size,
+            "seed": self.query_seed,
+            "file": self.file,
+            "digest": self.digest,
+            "derive_packed": self.derive_packed,
+        }
+
+    def label(self) -> str:
+        return f"{self.kind}:{self.file or self.digest[:8]}:{self.structure}"
+
+
+@dataclass
+class StructureOutcome:
+    """One table row produced by a job: result, totals and timings."""
+
+    name: str
+    result: MethodResult
+    totals: AccessStats
+    build_seconds: float
+    query_seconds: float
+
+
+@dataclass
+class JobResult:
+    """Everything a worker sends back for one spec (all picklable)."""
+
+    spec: JobSpec
+    structures: list[StructureOutcome]
+    spans: list[Span] = field(default_factory=list)
+
+
+def data_digest(data: Sequence) -> str:
+    """Content address of an inline data sequence (points or rects)."""
+    return hashlib.sha256(
+        pickle.dumps(list(data), protocol=pickle.HIGHEST_PROTOCOL)
+    ).hexdigest()
+
+
+def resolve_factory(kind: str, structure: str):
+    """Look a structure name up in the standard testbed registries.
+
+    Parallel execution ships names, not closures, so only registered
+    structures can run in workers; anything else raises a ``KeyError``
+    that lists the valid names.
+    """
+    from repro.core.testbed import standard_pam_factories, standard_sam_factories
+
+    registry = standard_pam_factories() if kind == "pam" else standard_sam_factories()
+    try:
+        return registry[structure]
+    except KeyError:
+        raise KeyError(
+            f"unknown {kind.upper()} structure {structure!r}; parallel jobs can "
+            f"only run registered structures {sorted(registry)}"
+        ) from None
+
+
+def load_job_data(spec: JobSpec):
+    """Regenerate the spec's data file from its deterministic generator."""
+    if spec.file is None:
+        raise ValueError(f"spec {spec.label()} carries inline data, nothing to load")
+    if spec.kind == "pam":
+        from repro.workloads.distributions import generate_point_file
+
+        return generate_point_file(spec.file, spec.scale)
+    from repro.workloads.rect_distributions import generate_rect_file
+
+    return generate_rect_file(spec.file, spec.scale)
+
+
+def execute_job(spec: JobSpec, data: Sequence | None = None) -> JobResult:
+    """Run one build+query cell and return its complete outcome.
+
+    This is the function a pool worker runs; it mirrors the serial
+    bench loop of ``benchmarks/conftest.py`` step for step (same
+    builders, same query seeds, same BUDDY+ derivation and same tracer
+    context labels), which is what makes the merged outcome
+    indistinguishable from a serial session.
+    """
+    if data is None:
+        data = load_job_data(spec)
+    factory = resolve_factory(spec.kind, spec.structure)
+    build = build_pam if spec.kind == "pam" else build_sam
+    run_queries = run_pam_queries if spec.kind == "pam" else run_sam_queries
+
+    tracer = Tracer()
+    tracer.set_context(structure=spec.structure)
+    started = time.perf_counter()
+    method = build(factory, data, page_size=spec.page_size, tracer=tracer)
+    build_seconds = time.perf_counter() - started
+    started = time.perf_counter()
+    result = run_queries(method, seed=spec.query_seed, tracer=tracer)
+    query_seconds = time.perf_counter() - started
+    result.name = spec.structure
+    structures = [
+        StructureOutcome(
+            spec.structure,
+            result,
+            method.store.stats.snapshot(),
+            build_seconds,
+            query_seconds,
+        )
+    ]
+
+    if spec.derive_packed:
+        # BUDDY+ is not a separate build: pack the just-built BUDDY file
+        # and re-run the query files on the same store, charging only the
+        # delta — exactly how the serial bench derives the row.
+        before = method.store.stats.snapshot()
+        tracer.set_context(structure=f"{spec.structure}+", op="pack")
+        started = time.perf_counter()
+        method.pack()
+        pack_seconds = time.perf_counter() - started
+        started = time.perf_counter()
+        packed = run_queries(method, seed=spec.query_seed, tracer=tracer)
+        packed_seconds = time.perf_counter() - started
+        packed.name = f"{spec.structure}+"
+        structures.append(
+            StructureOutcome(
+                packed.name,
+                packed,
+                method.store.stats - before,
+                pack_seconds,
+                packed_seconds,
+            )
+        )
+
+    return JobResult(spec=spec, structures=structures, spans=tracer.finish())
+
+
+def pam_file_specs(
+    file_name: str,
+    scale: int,
+    *,
+    structures: Sequence[str] | None = None,
+    page_size: int = 512,
+    seed: int = PAM_SEED,
+) -> list[JobSpec]:
+    """One spec per standard PAM on ``file_name`` (BUDDY derives BUDDY+)."""
+    from repro.core.testbed import standard_pam_factories
+
+    names = list(structures) if structures is not None else list(
+        standard_pam_factories()
+    )
+    return [
+        JobSpec(
+            kind="pam",
+            structure=name,
+            scale=scale,
+            page_size=page_size,
+            seed=seed,
+            file=file_name,
+            derive_packed=(name == "BUDDY"),
+        )
+        for name in names
+    ]
+
+
+def sam_file_specs(
+    file_name: str,
+    scale: int,
+    *,
+    structures: Sequence[str] | None = None,
+    page_size: int = 512,
+    seed: int = SAM_SEED,
+) -> list[JobSpec]:
+    """One spec per standard SAM on ``file_name``."""
+    from repro.core.testbed import standard_sam_factories
+
+    names = list(structures) if structures is not None else list(
+        standard_sam_factories()
+    )
+    return [
+        JobSpec(
+            kind="sam",
+            structure=name,
+            scale=scale,
+            page_size=page_size,
+            seed=seed,
+            file=file_name,
+        )
+        for name in names
+    ]

@@ -1,0 +1,272 @@
+"""The process-pool experiment runner and its deterministic merge.
+
+The paper's comparison grid is embarrassingly parallel: every
+``(data file, structure)`` cell builds on its own
+:class:`~repro.storage.pagestore.PageStore` from fixed seeds, so cells
+share no state whatsoever.  :func:`run_specs` fans the cells out over a
+``spawn``-based :class:`~concurrent.futures.ProcessPoolExecutor`
+(consulting the :class:`~repro.parallel.cache.BuildCache` first) and
+:func:`merge_outcomes` folds the per-job results back **in spec order**,
+so the merged tables, totals, timers and tracer spans are identical to
+a serial run regardless of which worker finished first.
+
+``workers=1`` executes the specs inline in the calling process — no
+pool, no pickling — which keeps the default bench path bit-identical
+to the historical serial code.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.core.comparison import MethodResult
+from repro.core.stats import AccessStats
+from repro.obs.tracer import Span
+from repro.parallel.cache import BuildCache, cache_from_env
+from repro.parallel.jobs import (
+    PAM_SEED,
+    SAM_SEED,
+    JobResult,
+    JobSpec,
+    data_digest,
+    execute_job,
+    pam_file_specs,
+    sam_file_specs,
+)
+
+__all__ = [
+    "ExperimentOutcome",
+    "default_workers",
+    "run_specs",
+    "merge_outcomes",
+    "run_pam_file",
+    "run_sam_file",
+    "run_parallel_experiment",
+    "traced_parallel_run",
+]
+
+
+def default_workers(env: str = "REPRO_BENCH_WORKERS") -> int:
+    """Worker count from the environment (1 = serial, the default)."""
+    try:
+        return max(1, int(os.environ.get(env, "1")))
+    except ValueError:
+        return 1
+
+
+@dataclass
+class ExperimentOutcome:
+    """A serial-equivalent experiment result, merged from jobs.
+
+    ``results`` preserves the structure order of the submitted specs
+    (with derived rows such as BUDDY+ directly after their parent), so
+    tables rendered from it match the serial loop's ordering exactly.
+    """
+
+    results: dict[str, MethodResult] = field(default_factory=dict)
+    totals: dict[str, AccessStats] = field(default_factory=dict)
+    timers: dict[str, float] = field(default_factory=dict)
+    spans: list[Span] = field(default_factory=list)
+
+    @property
+    def records(self) -> int:
+        """Records in the underlying data file (from the build metrics)."""
+        for result in self.results.values():
+            return result.metrics.records
+        return 0
+
+    def to_report(
+        self,
+        *,
+        label: str,
+        kind: str,
+        page_size: int,
+        seed: int | None,
+        meta: dict | None = None,
+    ):
+        """Assemble the run's :class:`~repro.obs.export.RunReport`."""
+        from repro.obs.export import build_run_report
+
+        return build_run_report(
+            label=label,
+            kind=kind,
+            scale=self.records,
+            page_size=page_size,
+            seed=seed,
+            results=self.results,
+            totals=self.totals,
+            spans=self.spans,
+            timers=self.timers,
+            meta=meta,
+        )
+
+
+def _resolve_cache(cache) -> BuildCache | None:
+    if cache == "auto":
+        return cache_from_env()
+    return cache
+
+
+def run_specs(
+    specs: Sequence[JobSpec],
+    *,
+    workers: int = 1,
+    cache: BuildCache | str | None = None,
+    data: Sequence | None = None,
+) -> list[JobResult]:
+    """Execute the specs — cached, pooled, or inline — in spec order.
+
+    ``cache`` is a :class:`BuildCache`, ``None`` (no caching) or the
+    string ``"auto"`` (resolve from ``REPRO_BUILD_CACHE``).  ``data``
+    ships an inline record sequence to every spec whose ``file`` is
+    ``None``.  The returned list is ordered like ``specs`` no matter
+    how execution interleaved.
+    """
+    cache = _resolve_cache(cache)
+    outcomes: dict[int, JobResult] = {}
+    pending: list[tuple[int, JobSpec]] = []
+    for i, spec in enumerate(specs):
+        cached = cache.load(spec) if cache is not None else None
+        if cached is not None:
+            outcomes[i] = cached
+        else:
+            pending.append((i, spec))
+
+    if pending:
+        job_data = [data if spec.file is None else None for _, spec in pending]
+        if workers > 1 and len(pending) > 1:
+            import multiprocessing
+
+            context = multiprocessing.get_context("spawn")
+            with ProcessPoolExecutor(
+                max_workers=min(workers, len(pending)), mp_context=context
+            ) as pool:
+                futures = [
+                    pool.submit(execute_job, spec, payload)
+                    for (_, spec), payload in zip(pending, job_data)
+                ]
+                finished = [future.result() for future in futures]
+        else:
+            finished = [
+                execute_job(spec, payload)
+                for (_, spec), payload in zip(pending, job_data)
+            ]
+        for (i, spec), result in zip(pending, finished):
+            outcomes[i] = result
+            if cache is not None:
+                cache.store(spec, result)
+
+    return [outcomes[i] for i in range(len(specs))]
+
+
+def merge_outcomes(job_results: Sequence[JobResult]) -> ExperimentOutcome:
+    """Fold job results into one serial-equivalent outcome, in order."""
+    outcome = ExperimentOutcome()
+    for job in job_results:
+        for row in job.structures:
+            outcome.results[row.name] = row.result
+            outcome.totals[row.name] = row.totals
+            outcome.timers[f"{row.name}/build"] = row.build_seconds
+            outcome.timers[f"{row.name}/queries"] = row.query_seconds
+        outcome.spans.extend(job.spans)
+    return outcome
+
+
+def run_pam_file(
+    file_name: str,
+    *,
+    scale: int,
+    workers: int = 1,
+    page_size: int = 512,
+    seed: int = PAM_SEED,
+    structures: Sequence[str] | None = None,
+    cache: BuildCache | str | None = None,
+) -> ExperimentOutcome:
+    """The full standard-PAM comparison on one data file (plus BUDDY+)."""
+    specs = pam_file_specs(
+        file_name, scale, structures=structures, page_size=page_size, seed=seed
+    )
+    return merge_outcomes(run_specs(specs, workers=workers, cache=cache))
+
+
+def run_sam_file(
+    file_name: str,
+    *,
+    scale: int,
+    workers: int = 1,
+    page_size: int = 512,
+    seed: int = SAM_SEED,
+    structures: Sequence[str] | None = None,
+    cache: BuildCache | str | None = None,
+) -> ExperimentOutcome:
+    """The full standard-SAM comparison on one rectangle file."""
+    specs = sam_file_specs(
+        file_name, scale, structures=structures, page_size=page_size, seed=seed
+    )
+    return merge_outcomes(run_specs(specs, workers=workers, cache=cache))
+
+
+def run_parallel_experiment(
+    kind: str,
+    structures: Sequence[str],
+    data: Sequence,
+    *,
+    seed: int | None = None,
+    page_size: int = 512,
+    workers: int = 1,
+    cache: BuildCache | str | None = None,
+) -> ExperimentOutcome:
+    """Fan an in-memory experiment out by structure name.
+
+    The counterpart of :func:`repro.core.comparison.run_pam_experiment`
+    for ad-hoc data: records are shipped to the workers and the cache
+    key uses their content digest instead of a file name.
+    """
+    digest = data_digest(data)
+    specs = [
+        JobSpec(
+            kind=kind,
+            structure=name,
+            scale=len(data),
+            page_size=page_size,
+            seed=seed,
+            digest=digest,
+        )
+        for name in structures
+    ]
+    return merge_outcomes(run_specs(specs, workers=workers, cache=cache, data=data))
+
+
+def traced_parallel_run(
+    kind: str,
+    structures: Sequence[str],
+    data: Sequence,
+    *,
+    seed: int | None = None,
+    label: str = "parallel run",
+    page_size: int = 512,
+    workers: int = 1,
+    cache: BuildCache | str | None = None,
+    meta: dict | None = None,
+):
+    """Parallel counterpart of :func:`repro.obs.runner.traced_pam_run`.
+
+    Returns ``(results, report)`` with the same shapes as the serial
+    traced runners, so callers can switch on a worker count alone.
+    """
+    outcome = run_parallel_experiment(
+        kind,
+        structures,
+        data,
+        seed=seed,
+        page_size=page_size,
+        workers=workers,
+        cache=cache,
+    )
+    report = outcome.to_report(
+        label=label, kind=kind, page_size=page_size, seed=seed, meta=meta
+    )
+    return outcome.results, report

@@ -5,6 +5,7 @@ import pytest
 from repro.core.comparison import (
     PAM_QUERY_TYPES,
     SAM_QUERY_TYPES,
+    MethodResult,
     build_pam,
     build_sam,
     measure,
@@ -12,11 +13,13 @@ from repro.core.comparison import (
     run_pam_experiment,
     run_sam_experiment,
 )
+from repro.core.stats import BuildMetrics
 from repro.core.testbed import (
     standard_pam_factories,
     standard_sam_factories,
 )
 from repro.core.testbed import testbed_scale as scale_from_env
+from repro.core.testbed import testbed_workers as workers_from_env
 from repro.pam.buddytree import BuddyTree
 from repro.sam.rtree import RTree
 from repro.storage.pagestore import PageStore
@@ -88,6 +91,30 @@ class TestDrivers:
         assert len(sam) == 100
 
 
+def _result(name: str, costs: dict[str, float]) -> MethodResult:
+    """A MethodResult with synthetic query costs and dummy metrics."""
+    metrics = BuildMetrics(
+        storage_utilization=0.0,
+        dir_data_ratio=0.0,
+        insert_cost=0.0,
+        height=0,
+        records=0,
+        data_pages=0,
+        directory_pages=0,
+        pinned_pages=0,
+    )
+    return MethodResult(name, metrics, query_costs=dict(costs))
+
+
+class TestMethodResult:
+    def test_query_average_is_unweighted_mean(self):
+        result = _result("X", {"a": 2.0, "b": 4.0, "c": 9.0})
+        assert result.query_average == pytest.approx(5.0)
+
+    def test_query_average_single_type(self):
+        assert _result("X", {"point": 7.5}).query_average == pytest.approx(7.5)
+
+
 class TestNormalise:
     def test_stick_is_100(self):
         points = generate_point_file("uniform", 600)
@@ -97,6 +124,21 @@ class TestNormalise:
             assert norm["GRID"][label] == pytest.approx(100.0)
         for name in results:
             assert set(norm[name]) == set(PAM_QUERY_TYPES)
+
+    def test_zero_cost_reference_rows_stay_finite(self):
+        """A free query type in the measuring stick maps to 0, not inf."""
+        results = {
+            "STICK": _result("STICK", {"pm_x": 0.0, "pm_y": 4.0}),
+            "OTHER": _result("OTHER", {"pm_x": 3.0, "pm_y": 2.0}),
+        }
+        norm = normalise(results, "STICK")
+        assert norm["STICK"]["pm_x"] == 0.0
+        assert norm["OTHER"]["pm_x"] == 0.0
+        assert norm["OTHER"]["pm_y"] == pytest.approx(50.0)
+
+    def test_all_zero_stick(self):
+        results = {"STICK": _result("STICK", {"a": 0.0})}
+        assert normalise(results, "STICK") == {"STICK": {"a": 0.0}}
 
 
 class TestTestbed:
@@ -109,3 +151,11 @@ class TestTestbed:
         assert scale_from_env() == 4321
         monkeypatch.delenv("REPRO_BENCH_SCALE")
         assert scale_from_env() == 10_000
+
+    def test_workers_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_WORKERS", "4")
+        assert workers_from_env() == 4
+        monkeypatch.setenv("REPRO_BENCH_WORKERS", "garbage")
+        assert workers_from_env() == 1
+        monkeypatch.delenv("REPRO_BENCH_WORKERS")
+        assert workers_from_env() == 1

@@ -1,0 +1,304 @@
+"""Tests for :mod:`repro.parallel` — determinism, caching, wiring.
+
+The acceptance bar for the parallel runner is *bit-equivalence*: with
+any worker count, the merged :class:`MethodResult` numbers, the
+per-structure :class:`AccessStats` totals, the span histograms and the
+rendered tables must be indistinguishable from the serial bench loop.
+These tests pin that, plus the build cache's hit/miss/invalidation
+behaviour.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.comparison import (
+    build_pam,
+    build_sam,
+    normalise,
+    run_pam_experiment,
+    run_pam_queries,
+    run_sam_queries,
+)
+from repro.core.stats import AccessStats
+from repro.core.testbed import (
+    run_standard_pam_testbed,
+    standard_pam_factories,
+    standard_sam_factories,
+)
+from repro.obs.export import summarise_spans, validate_run_report
+from repro.obs.tracer import Tracer
+from repro.parallel.cache import BuildCache, code_fingerprint
+from repro.parallel.jobs import (
+    JobSpec,
+    data_digest,
+    execute_job,
+    pam_file_specs,
+    sam_file_specs,
+)
+from repro.parallel.runner import (
+    default_workers,
+    merge_outcomes,
+    run_pam_file,
+    run_parallel_experiment,
+    run_sam_file,
+    run_specs,
+)
+from repro.workloads.distributions import generate_point_file
+from repro.workloads.rect_distributions import generate_rect_file
+
+PAM_SCALE = 400
+SAM_SCALE = 250
+
+
+# -- serial references (replicating the bench loop step for step) ----------
+
+
+def serial_pam_reference(file_name: str, scale: int):
+    """The bench conftest's serial PAM loop, including BUDDY+ derivation."""
+    points = generate_point_file(file_name, scale)
+    tracer = Tracer()
+    results, totals = {}, {}
+    for name, factory in standard_pam_factories().items():
+        tracer.set_context(structure=name)
+        pam = build_pam(factory, points, tracer=tracer)
+        result = run_pam_queries(pam, tracer=tracer)
+        result.name = name
+        results[name] = result
+        totals[name] = pam.store.stats.snapshot()
+        if name == "BUDDY":
+            before = pam.store.stats.snapshot()
+            tracer.set_context(structure="BUDDY+", op="pack")
+            pam.pack()
+            packed = run_pam_queries(pam, tracer=tracer)
+            packed.name = "BUDDY+"
+            results["BUDDY+"] = packed
+            totals["BUDDY+"] = pam.store.stats - before
+    return results, totals, tracer.finish()
+
+
+def serial_sam_reference(file_name: str, scale: int):
+    rects = generate_rect_file(file_name, scale)
+    tracer = Tracer()
+    results, totals = {}, {}
+    for name, factory in standard_sam_factories().items():
+        tracer.set_context(structure=name)
+        sam = build_sam(factory, rects, tracer=tracer)
+        result = run_sam_queries(sam, tracer=tracer)
+        result.name = name
+        results[name] = result
+        totals[name] = sam.store.stats.snapshot()
+    return results, totals, tracer.finish()
+
+
+def assert_outcome_matches(results, totals, spans, outcome):
+    """Everything except wall-clock timers must agree exactly."""
+    assert list(outcome.results) == list(results)
+    for name, reference in results.items():
+        merged = outcome.results[name]
+        assert merged.name == reference.name
+        assert merged.query_costs == reference.query_costs, name
+        assert merged.query_results == reference.query_results, name
+        assert merged.metrics.as_dict() == reference.metrics.as_dict(), name
+        assert outcome.totals[name] == totals[name], name
+    reference_hists = summarise_spans(spans)
+    merged_hists = summarise_spans(outcome.spans)
+    assert set(merged_hists) == set(reference_hists)
+    for structure, per_op in reference_hists.items():
+        assert set(merged_hists[structure]) == set(per_op)
+        for op, hist in per_op.items():
+            assert merged_hists[structure][op].as_dict() == hist.as_dict(), (
+                structure,
+                op,
+            )
+
+
+# -- determinism: parallel == serial ---------------------------------------
+
+
+@pytest.fixture(scope="module")
+def pam_parallel_outcome():
+    """One 2-worker PAM run shared by the determinism assertions."""
+    return run_pam_file("uniform", scale=PAM_SCALE, workers=2, cache=None)
+
+
+class TestParallelMatchesSerial:
+    def test_pam_grid_cell(self, pam_parallel_outcome):
+        results, totals, spans = serial_pam_reference("uniform", PAM_SCALE)
+        assert_outcome_matches(results, totals, spans, pam_parallel_outcome)
+
+    def test_pam_tables_identical(self, pam_parallel_outcome):
+        """The paper-style normalised table derives identically."""
+        results, _, _ = serial_pam_reference("uniform", PAM_SCALE)
+        assert normalise(results, "GRID") == normalise(
+            pam_parallel_outcome.results, "GRID"
+        )
+
+    def test_pam_timers_cover_all_structures(self, pam_parallel_outcome):
+        expected = {"HB", "BANG", "BANG*", "GRID", "BUDDY", "BUDDY+"}
+        assert {
+            key.split("/")[0] for key in pam_parallel_outcome.timers
+        } == expected
+
+    def test_sam_grid_cell(self):
+        results, totals, spans = serial_sam_reference("uniform_small", SAM_SCALE)
+        outcome = run_sam_file(
+            "uniform_small", scale=SAM_SCALE, workers=2, cache=None
+        )
+        assert_outcome_matches(results, totals, spans, outcome)
+
+    def test_inline_data_experiment(self):
+        points = generate_point_file("cluster", 300)
+        serial = run_pam_experiment(
+            {"GRID": standard_pam_factories()["GRID"]}, points
+        )
+        outcome = run_parallel_experiment("pam", ["GRID"], points, workers=1)
+        assert (
+            outcome.results["GRID"].query_costs == serial["GRID"].query_costs
+        )
+
+    def test_comparison_api_workers(self):
+        """run_pam_experiment(workers=2) routes through the pool."""
+        points = generate_point_file("uniform", 250)
+        serial = run_pam_experiment(standard_pam_factories(), points)
+        parallel = run_pam_experiment(standard_pam_factories(), points, workers=2)
+        assert list(parallel) == list(serial)
+        for name in serial:
+            assert parallel[name].query_costs == serial[name].query_costs
+
+    def test_comparison_api_rejects_tracer_with_workers(self):
+        with pytest.raises(ValueError, match="tracer"):
+            run_pam_experiment(
+                standard_pam_factories(), [(0.5, 0.5)], tracer=Tracer(), workers=2
+            )
+
+    def test_testbed_parallel_report_matches_serial(self):
+        points = generate_point_file("uniform", 250)
+        serial_results, serial_report = run_standard_pam_testbed(points, workers=1)
+        parallel_results, parallel_report = run_standard_pam_testbed(
+            points, workers=2
+        )
+        assert validate_run_report(parallel_report.to_dict()) == []
+        assert parallel_report.access_totals() == serial_report.access_totals()
+        assert list(parallel_results) == list(serial_results)
+
+
+# -- job specs --------------------------------------------------------------
+
+
+class TestJobSpecs:
+    def test_kind_validated(self):
+        with pytest.raises(ValueError, match="kind"):
+            JobSpec(kind="tree", structure="GRID", scale=10, file="uniform")
+
+    def test_needs_file_or_digest(self):
+        with pytest.raises(ValueError, match="file name or a data digest"):
+            JobSpec(kind="pam", structure="GRID", scale=10)
+
+    def test_unknown_structure_lists_registry(self):
+        spec = JobSpec(kind="pam", structure="ZORDER", scale=50, file="uniform")
+        with pytest.raises(KeyError, match="registered structures"):
+            execute_job(spec)
+
+    def test_standard_grids(self):
+        pam = pam_file_specs("uniform", 100)
+        assert [s.structure for s in pam] == ["HB", "BANG", "BANG*", "GRID", "BUDDY"]
+        assert [s.derive_packed for s in pam] == [False] * 4 + [True]
+        sam = sam_file_specs("diagonal", 100)
+        assert [s.structure for s in sam] == ["R-Tree", "BANG", "BUDDY", "PLOP"]
+        assert all(s.seed is not None for s in pam + sam)
+
+    def test_default_workers_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_WORKERS", raising=False)
+        assert default_workers() == 1
+        monkeypatch.setenv("REPRO_BENCH_WORKERS", "6")
+        assert default_workers() == 6
+
+
+# -- the build cache --------------------------------------------------------
+
+
+class TestBuildCache:
+    def specs(self):
+        return pam_file_specs("uniform", 120, structures=["GRID", "BUDDY"])
+
+    def test_round_trip_skips_rebuilds(self, tmp_path):
+        cache = BuildCache(tmp_path)
+        first = run_specs(self.specs(), cache=cache)
+        assert (cache.hits, cache.misses, cache.stores) == (0, 2, 2)
+
+        warm = BuildCache(tmp_path)
+        second = run_specs(self.specs(), cache=warm)
+        assert (warm.hits, warm.misses, warm.stores) == (2, 0, 0)
+        merged_first = merge_outcomes(first)
+        merged_second = merge_outcomes(second)
+        assert list(merged_first.results) == list(merged_second.results)
+        for name in merged_first.results:
+            assert (
+                merged_first.results[name].query_costs
+                == merged_second.results[name].query_costs
+            )
+            assert merged_first.totals[name] == merged_second.totals[name]
+        # Even the cached wall-clock timers ride along unchanged.
+        assert merged_first.timers == merged_second.timers
+
+    def test_key_covers_every_parameter(self, tmp_path):
+        cache = BuildCache(tmp_path)
+        base = JobSpec(kind="pam", structure="GRID", scale=100, file="uniform")
+        variants = [
+            JobSpec(kind="pam", structure="BUDDY", scale=100, file="uniform"),
+            JobSpec(kind="pam", structure="GRID", scale=101, file="uniform"),
+            JobSpec(kind="pam", structure="GRID", scale=100, file="sinus"),
+            JobSpec(
+                kind="pam", structure="GRID", scale=100, file="uniform", seed=7
+            ),
+            JobSpec(
+                kind="pam",
+                structure="GRID",
+                scale=100,
+                file="uniform",
+                page_size=1024,
+            ),
+            JobSpec(
+                kind="pam",
+                structure="GRID",
+                scale=100,
+                file="uniform",
+                derive_packed=True,
+            ),
+            JobSpec(kind="sam", structure="GRID", scale=100, file="uniform"),
+        ]
+        keys = {cache.key(spec) for spec in [base, *variants]}
+        assert len(keys) == len(variants) + 1
+
+    def test_code_fingerprint_invalidates(self, tmp_path):
+        spec = JobSpec(kind="pam", structure="GRID", scale=100, file="uniform")
+        old_code = BuildCache(tmp_path, fingerprint="aaaa")
+        new_code = BuildCache(tmp_path, fingerprint="bbbb")
+        assert old_code.key(spec) != new_code.key(spec)
+        current = BuildCache(tmp_path)
+        assert current.fingerprint == code_fingerprint()
+
+    def test_corrupt_entry_degrades_to_miss(self, tmp_path):
+        cache = BuildCache(tmp_path)
+        spec = self.specs()[0]
+        run_specs([spec], cache=cache)
+        cache.path_for(spec).write_bytes(b"not a pickle")
+        rerun = BuildCache(tmp_path)
+        run_specs([spec], cache=rerun)
+        assert (rerun.hits, rerun.misses, rerun.stores) == (0, 1, 1)
+        fixed = BuildCache(tmp_path)
+        assert fixed.load(spec) is not None
+
+    def test_inline_data_is_content_addressed(self, tmp_path):
+        points = generate_point_file("uniform", 150)
+        digest = data_digest(points)
+        assert digest == data_digest(list(points))
+        assert digest != data_digest(points[:-1])
+        cache = BuildCache(tmp_path)
+        run_parallel_experiment("pam", ["GRID"], points, cache=cache)
+        assert cache.stores == 1
+        warm = BuildCache(tmp_path)
+        outcome = run_parallel_experiment("pam", ["GRID"], points, cache=warm)
+        assert warm.hits == 1
+        assert outcome.results["GRID"].metrics.records == 150

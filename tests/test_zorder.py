@@ -36,6 +36,23 @@ class TestZValue:
             expected = (expected << 1) | bit
         assert z == expected
 
+    @given(
+        st.lists(unit_floats, min_size=1, max_size=4),
+        st.integers(1, 24),
+    )
+    def test_lookup_table_matches_bitwise_reference(self, coords, bpa):
+        """The 8-bit spread tables replicate the naive interleaving loop."""
+        dims = len(coords)
+        scale = 1 << bpa
+        quantized = [min(int(c * scale), scale - 1) for c in coords]
+        expected = 0
+        for k in range(bpa):  # MSB first, cyclic over axes
+            for axis in range(dims):
+                expected = (expected << 1) | (
+                    (quantized[axis] >> (bpa - 1 - k)) & 1
+                )
+        assert z_value(coords, dims, bits_per_axis=bpa) == expected
+
 
 class TestZInterval:
     def test_root_interval(self):
