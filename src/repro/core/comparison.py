@@ -8,6 +8,7 @@ is exactly how the paper's tables are laid out.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
@@ -63,18 +64,31 @@ def measure(store: PageStore, operation: Callable[[], object]) -> tuple[int, obj
     return store.stats.total - before, result
 
 
+def _audit_requested(audit: bool | None) -> bool:
+    """Resolve the ``audit`` parameter; ``None`` falls back to ``REPRO_AUDIT``."""
+    if audit is not None:
+        return audit
+    return os.environ.get("REPRO_AUDIT", "").lower() not in ("", "0", "off", "no", "false")
+
+
 def build_pam(
     factory: Callable[..., PointAccessMethod],
     points: Sequence[tuple[float, ...]],
     dims: int = 2,
     page_size: int = 512,
     tracer=None,
+    audit: bool | None = None,
 ) -> PointAccessMethod:
     """Build a fresh PAM over its own page store and insert all points.
 
     ``tracer`` (a :class:`repro.obs.Tracer`) is installed as the new
     store's observer and labels the build's spans ``op="insert"``;
     tracing is passive, so the build is identical with or without it.
+
+    ``audit=True`` runs the structure's invariant auditor
+    (:mod:`repro.verify`) on the finished build and raises
+    :class:`repro.verify.AuditError` on any violation; ``None`` defers
+    to the ``REPRO_AUDIT`` environment variable.
     """
     store = PageStore(page_size)
     if tracer is not None:
@@ -84,6 +98,8 @@ def build_pam(
         tracer.set_context(op="insert")
     for rid, point in enumerate(points):
         pam.insert(point, rid)
+    if _audit_requested(audit):
+        pam.audit()
     return pam
 
 
@@ -93,8 +109,12 @@ def build_sam(
     dims: int = 2,
     page_size: int = 512,
     tracer=None,
+    audit: bool | None = None,
 ) -> SpatialAccessMethod:
-    """Build a fresh SAM over its own page store and insert all rectangles."""
+    """Build a fresh SAM over its own page store and insert all rectangles.
+
+    ``audit`` behaves as in :func:`build_pam`.
+    """
     store = PageStore(page_size)
     if tracer is not None:
         tracer.set_context(op="setup").attach(store)
@@ -103,6 +123,8 @@ def build_sam(
         tracer.set_context(op="insert")
     for rid, rect in enumerate(rects):
         sam.insert(rect, rid)
+    if _audit_requested(audit):
+        sam.audit()
     return sam
 
 
@@ -179,6 +201,7 @@ def run_pam_experiment(
     seed: int = 101,
     tracer=None,
     workers: int = 1,
+    audit: bool | None = None,
 ) -> dict[str, MethodResult]:
     """Build every PAM on the same data file and run the query files.
 
@@ -191,14 +214,21 @@ def run_pam_experiment(
     standard-testbed structures (job specs ship names, not closures),
     and a ``tracer`` cannot be threaded through — spans stay inside the
     workers and are only available via the parallel runner's own API.
+
+    ``audit=True`` audits every structure post-build (and requires
+    ``workers == 1``, like a tracer); ``None`` defers to ``REPRO_AUDIT``.
     """
     if workers > 1:
+        if _audit_requested(audit):
+            raise ValueError(
+                "post-build audits run in-process; run with workers=1"
+            )
         return _parallel_experiment("pam", factories, points, seed, tracer, workers)
     results = {}
     for name, factory in factories.items():
         if tracer is not None:
             tracer.set_context(structure=name)
-        pam = build_pam(factory, points, tracer=tracer)
+        pam = build_pam(factory, points, tracer=tracer, audit=audit)
         result = run_pam_queries(pam, seed=seed, tracer=tracer)
         result.name = name
         results[name] = result
@@ -211,19 +241,24 @@ def run_sam_experiment(
     seed: int = 107,
     tracer=None,
     workers: int = 1,
+    audit: bool | None = None,
 ) -> dict[str, MethodResult]:
     """Build every SAM on the same rectangle file and run the queries.
 
     ``workers > 1`` parallelises by structure exactly like
-    :func:`run_pam_experiment`.
+    :func:`run_pam_experiment`; ``audit`` behaves as there.
     """
     if workers > 1:
+        if _audit_requested(audit):
+            raise ValueError(
+                "post-build audits run in-process; run with workers=1"
+            )
         return _parallel_experiment("sam", factories, rects, seed, tracer, workers)
     results = {}
     for name, factory in factories.items():
         if tracer is not None:
             tracer.set_context(structure=name)
-        sam = build_sam(factory, rects, tracer=tracer)
+        sam = build_sam(factory, rects, tracer=tracer, audit=audit)
         result = run_sam_queries(sam, seed=seed, tracer=tracer)
         result.name = name
         results[name] = result

@@ -70,6 +70,41 @@ class _AccessMethodBase(abc.ABC):
             pinned_pages=self.store.pinned_count,
         )
 
+    # -- structural verification ------------------------------------------
+
+    def iter_records(self):
+        """Yield every stored ``(key, rid)`` pair by walking the pages.
+
+        Each structure overrides this with an uncharged walk of its own
+        page layout (via :meth:`PageStore.peek`); redundant schemes
+        (packed BUDDY, clipping) deduplicate so every logical record is
+        yielded exactly once.  The default refuses, so a structure
+        without a walk cannot silently pass a record-count audit.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement iter_records()"
+        )
+
+    def check_invariants(self) -> list:
+        """Run this structure's auditor and return the violations found.
+
+        An empty list means the file is structurally sound.  The audit
+        walks the page store with uncharged reads, so access statistics
+        and the search-path buffer are untouched.  See
+        :mod:`repro.verify.auditors` for the invariant catalogue.
+        """
+        from repro.verify.auditors import run_audit
+
+        return run_audit(self)
+
+    def audit(self) -> None:
+        """Assert structural soundness; raise ``AuditError`` on violations."""
+        from repro.verify.invariants import AuditError
+
+        violations = self.check_invariants()
+        if violations:
+            raise AuditError(type(self).__name__, violations)
+
     # -- operation bracketing ----------------------------------------------
 
     def _measured_insert(self, action) -> None:

@@ -121,6 +121,17 @@ class BangFile(PointAccessMethod):
         """Number of directory levels (the tree is balanced)."""
         return self._height
 
+    def iter_records(self):
+        """Uncharged walk of every record via the directory tree."""
+        stack = [self._root_pid]
+        while stack:
+            node: _DirNode = self.store.peek(stack.pop())
+            for entry in node.entries:
+                if node.is_leaf:
+                    yield from self.store.peek(entry.pid).records
+                else:
+                    stack.append(entry.pid)
+
     def _entry_bytes(self, bits: Bits) -> int:
         """On-page size of one directory entry."""
         if self.variable_length_entries:

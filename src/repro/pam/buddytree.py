@@ -123,6 +123,20 @@ class BuddyTree(PointAccessMethod):
         """True once :meth:`pack` has turned the file into BUDDY+."""
         return self._packed
 
+    def iter_records(self):
+        """Uncharged walk of every record; shared (packed) pages once."""
+        seen: set[int] = set()
+        stack = [(self._root_pid, self._root_is_data)]
+        while stack:
+            pid, is_data = stack.pop()
+            if pid in seen:
+                continue
+            seen.add(pid)
+            if is_data:
+                yield from self.store.peek(pid).records
+            else:
+                stack.extend((e.pid, e.is_data) for e in self.store.peek(pid).entries)
+
     # -- insertion -------------------------------------------------------------
 
     def _insert(self, point: tuple[float, ...], rid: object) -> None:
@@ -276,6 +290,8 @@ class BuddyTree(PointAccessMethod):
         """Split a full data page into two sibling entries of ``node``."""
         if self._packed and self._shared_count(node, entry.pid) > 1:
             self._unpack_entry(node, entry, page)
+            if entry not in node.entries:
+                return  # region swallowed by a nested sibling; nothing to split
             page = self.store.read(entry.pid)
             if len(page.records) <= self._capacity:
                 return
@@ -332,6 +348,36 @@ class BuddyTree(PointAccessMethod):
                 work.extend(self._split_entries(group))
         return done
 
+    def _unshare_split_groups(self, groups: list[list[_Entry]]) -> None:
+        """Unpack data pages whose sharers straddle a directory split.
+
+        Property 4 allows a data page to be shared only by entries of
+        one and the same directory page; when a directory split is about
+        to distribute sharing entries over different pages, the shared
+        page is unpacked first.
+        """
+        if not self._packed:
+            return
+        group_of: dict[int, int] = {}
+        straddling: list[int] = []
+        for index, group in enumerate(groups):
+            for e in group:
+                if not e.is_data:
+                    continue
+                if e.pid in group_of and group_of[e.pid] != index:
+                    if e.pid not in straddling:
+                        straddling.append(e.pid)
+                group_of.setdefault(e.pid, index)
+        for pid in straddling:
+            sharers = [
+                e for group in groups for e in group if e.is_data and e.pid == pid
+            ]
+            for dropped in self._unshare(sharers, self.store.read(pid)):
+                for group in groups:
+                    if dropped in group:
+                        group.remove(dropped)
+                        break
+
     def _split_dir_entry(self, parent: _DirNode, entry: _Entry, child: _DirNode) -> None:
         """Split an overflowing directory page below ``parent``.
 
@@ -339,9 +385,12 @@ class BuddyTree(PointAccessMethod):
         no directory page has fewer than two entries).
         """
         groups = self._partition_until_fits(child.entries)
+        self._unshare_split_groups(groups)
         parent.entries.remove(entry)
         reused_child_page = False
         for group in groups:
+            if not group:  # every entry was dropped by unsharing
+                continue
             if len(group) == 1 and not self.balanced:
                 parent.entries.append(group[0])
                 continue
@@ -362,7 +411,11 @@ class BuddyTree(PointAccessMethod):
     def _grow_root(self, root: _DirNode) -> None:
         """Split an overflowing root, adding one directory level."""
         new_entries = []
-        for group in self._partition_until_fits(root.entries):
+        groups = self._partition_until_fits(root.entries)
+        self._unshare_split_groups(groups)
+        for group in groups:
+            if not group:  # every entry was dropped by unsharing
+                continue
             if len(group) == 1 and not self.balanced:
                 new_entries.append(group[0])
             else:
@@ -558,19 +611,42 @@ class BuddyTree(PointAccessMethod):
     def _unpack_entry(self, node: _DirNode, entry: _Entry, page: _DataPage) -> None:
         """Undo packing for one shared page before it must split."""
         sharers = [e for e in node.entries if e.is_data and e.pid == entry.pid]
-        records = page.records
+        for dropped in self._unshare(sharers, page):
+            node.entries.remove(dropped)
+
+    def _unshare(self, sharers: list[_Entry], page: _DataPage) -> list[_Entry]:
+        """Give every sharer its own page again; returns dropped entries.
+
+        Each record is claimed by the *smallest* sharer region containing
+        it — sibling MBRs can nest around degenerate blocks, so first-match
+        claiming would misfile records.  Every surviving region is then
+        recomputed as the exact MBR of its records (the structure's
+        defining invariant); a sharer whose region was swallowed whole by
+        a nested sibling ends up empty and is dropped — the caller must
+        remove the returned entries from their directory page.
+        """
+        claims: dict[int, list] = {id(s): [] for s in sharers}
+        leftover: list = []
+        for record in page.records:
+            containing = [s for s in sharers if s.rect.contains_point(record[0])]
+            if containing:
+                owner = min(containing, key=lambda s: s.rect.area())
+                claims[id(owner)].append(record)
+            else:
+                leftover.append(record)
+        survivors = [s for s in sharers if claims[id(s)]]
+        if not survivors:
+            survivors = sharers[:1]
+        claims[id(survivors[0])].extend(leftover)
         first = True
-        for sharer in sharers:
-            owned = [r for r in records if sharer.rect.contains_point(r[0])]
-            records = [r for r in records if not sharer.rect.contains_point(r[0])]
+        for sharer in survivors:
+            owned = claims[id(sharer)]
+            if owned:
+                sharer.rect = Rect.bounding_points([p for p, _ in owned])
             if first:
                 page.records = owned
-                self.store.write(sharer.pid)
                 first = False
             else:
-                new_pid = self.store.allocate(PageKind.DATA, _DataPage(owned))
-                sharer.pid = new_pid
-                self.store.write(new_pid)
-        # Records in none of the regions stay with the first sharer.
-        if records:
-            page.records.extend(records)
+                sharer.pid = self.store.allocate(PageKind.DATA, _DataPage(owned))
+            self.store.write(sharer.pid)
+        return [s for s in sharers if s not in survivors]

@@ -329,6 +329,11 @@ class GridFile(PointAccessMethod):
     def record_capacity(self) -> int:
         return self._capacity
 
+    def iter_records(self):
+        """Uncharged walk of every record over the page boxes."""
+        for pid in self._layer.boxes:
+            yield from self.store.peek(pid).records
+
     def _sync_directory_pages(self) -> None:
         """Grow/shrink the simulated directory pages to the cell count."""
         needed = -(-self._layer.total_cells() // self._dir_cells_per_page)

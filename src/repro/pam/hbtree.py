@@ -156,6 +156,24 @@ class HBTree(PointAccessMethod):
 
         return depth(self._root_pid, False)
 
+    def iter_records(self):
+        """Uncharged walk of every record (the directory is a graph, so
+        data pages reached through several parents are read once)."""
+        seen: set[int] = set()
+        stack = [(self._root_pid, self._root_is_data)]
+        while stack:
+            pid, is_data = stack.pop()
+            if pid in seen:
+                continue
+            seen.add(pid)
+            if is_data:
+                yield from self.store.peek(pid).records
+            else:
+                node: _IndexNode = self.store.peek(pid)
+                stack.extend(
+                    (leaf.pid, leaf.is_data) for leaf in self._kd_leaves(node.kd)
+                )
+
     # -- kd-tree helpers -------------------------------------------------------
 
     @staticmethod

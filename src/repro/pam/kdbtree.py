@@ -71,6 +71,17 @@ class KdBTree(PointAccessMethod):
         """Region-page levels above the point pages (uniform: balanced)."""
         return self._height
 
+    def iter_records(self):
+        """Uncharged walk of every record through the region pages."""
+        stack = [(self._root_pid, self._root_is_leaf)]
+        while stack:
+            pid, is_leaf = stack.pop()
+            if is_leaf:
+                yield from self.store.peek(pid).records
+            else:
+                node: _RegionPage = self.store.peek(pid)
+                stack.extend((child, node.leaf_children) for child in node.pids)
+
     @staticmethod
     def _region_contains(rect: Rect, point: tuple[float, ...]) -> bool:
         """Half-open containment so that sibling regions never tie."""

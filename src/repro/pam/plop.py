@@ -127,6 +127,12 @@ class _PlopGrid:
         while self._records > _EXPANSION_LOAD * self._pages * self.capacity:
             self._partial_expansion()
 
+    def iter_all(self):
+        """Every stored record over all bucket chains, uncharged."""
+        for bucket in self.buckets.values():
+            for pid in bucket.chain:
+                yield from self.store.peek(pid).records
+
     def read_chain(self, idx: tuple[int, ...]) -> list[tuple]:
         """All records of one bucket, charging every page of the chain."""
         bucket = self.buckets.get(idx)
@@ -234,6 +240,10 @@ class PlopHashing(PointAccessMethod):
     def directory_height(self) -> int:
         """PLOP has no directory; addresses are computed arithmetically."""
         return 0
+
+    def iter_records(self):
+        """Uncharged walk of every record over the bucket chains."""
+        return self._grid.iter_all()
 
     def _insert(self, point: tuple[float, ...], rid: object) -> None:
         self._grid.insert((point, rid))

@@ -58,6 +58,12 @@ class TwinGridFile(PointAccessMethod):
         """One level per grid file; both are searched."""
         return 2
 
+    def iter_records(self):
+        """Uncharged walk over both grids' page boxes."""
+        for layer in self._layers:
+            for pid in layer.boxes:
+                yield from self.store.peek(pid).records
+
     def _sync_directory_pages(self, layer_index: int) -> None:
         layer = self._layers[layer_index]
         pages = self._dir_pages[layer_index]

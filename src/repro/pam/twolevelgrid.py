@@ -84,6 +84,13 @@ class TwoLevelGridFile(PointAccessMethod):
         """Table metrics; pinned pages are the in-core first level."""
         return replace(super().metrics(), pinned_pages=self.first_level_pages)
 
+    def iter_records(self):
+        """Uncharged walk: first level, subgrids, data pages."""
+        for spid in self._root.boxes:
+            subgrid: _SubGrid = self.store.peek(spid)
+            for dpid in subgrid.layer.boxes:
+                yield from self.store.peek(dpid).records
+
     # -- operations --------------------------------------------------------
 
     def _insert(self, point: tuple[float, ...], rid: object) -> None:

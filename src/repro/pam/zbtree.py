@@ -149,6 +149,18 @@ class _BPlusTree:
 
     # -- scans ------------------------------------------------------------
 
+    def iter_items(self) -> Iterator[tuple]:
+        """Every ``(key, value)`` pair along the leaf chain, uncharged."""
+        pid, is_leaf = self.root_pid, self.root_is_leaf
+        while not is_leaf:
+            node: _Inner = self.store.peek(pid)
+            pid = node.pids[0]
+            is_leaf = self.store.kind(pid) is PageKind.DATA
+        while pid is not None:
+            leaf: _Leaf = self.store.peek(pid)
+            yield from zip(leaf.keys, leaf.values)
+            pid = leaf.next_pid
+
     def _leaf_for(self, key) -> int:
         pid, is_leaf = self.root_pid, self.root_is_leaf
         while not is_leaf:
@@ -216,6 +228,11 @@ class ZOrderBTree(PointAccessMethod):
     @property
     def directory_height(self) -> int:
         return self._tree.height
+
+    def iter_records(self):
+        """Uncharged walk of every record along the leaf chain."""
+        for _, (point, rid) in self._tree.iter_items():
+            yield point, rid
 
     def _z(self, point: tuple[float, ...]) -> int:
         return z_value(point, self.dims, Z_BITS_PER_AXIS)

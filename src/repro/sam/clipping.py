@@ -79,6 +79,15 @@ class ClippingSAM(SpatialAccessMethod):
         achieved redundancy factor."""
         return self._region_entries
 
+    def iter_records(self):
+        """Uncharged walk yielding one ``(rect, rid)`` per distinct rid
+        (each rid is stored under up to ``redundancy`` z-region keys)."""
+        seen: set[object] = set()
+        for _, (rect, rid) in self._tree.iter_items():
+            if rid not in seen:
+                seen.add(rid)
+                yield rect, rid
+
     def metrics(self):
         """Slot utilisation counts region entries (objects are redundant)."""
         from dataclasses import replace

@@ -49,6 +49,10 @@ class OverlappingPlop(SpatialAccessMethod):
         """No directory: bucket addresses are computed arithmetically."""
         return 0
 
+    def iter_records(self):
+        """Uncharged walk of every stored ``(rect, rid)`` entry."""
+        return self._grid.iter_all()
+
     # -- operations ------------------------------------------------------------
 
     def _insert(self, rect: Rect, rid: object) -> None:

@@ -82,6 +82,23 @@ class RPlusTree(SpatialAccessMethod):
                 total += len(obj.rects)
         return total
 
+    def iter_records(self):
+        """Uncharged walk yielding one ``(rect, rid)`` per distinct rid
+        (clipping stores a rid in every leaf its rectangle meets)."""
+        seen: set[object] = set()
+        stack = [(self._root_pid, self._root_is_leaf)]
+        while stack:
+            pid, is_leaf = stack.pop()
+            if is_leaf:
+                leaf: _Leaf = self.store.peek(pid)
+                for rect, rid in zip(leaf.rects, leaf.rids):
+                    if rid not in seen:
+                        seen.add(rid)
+                        yield rect, rid
+            else:
+                node: _Inner = self.store.peek(pid)
+                stack.extend((child, node.leaf_children) for child in node.pids)
+
     # -- insertion -----------------------------------------------------------------
 
     def _insert(self, rect: Rect, rid: object) -> None:

@@ -74,6 +74,16 @@ class RTree(SpatialAccessMethod):
         """Number of inner levels above the leaves."""
         return self._height
 
+    def iter_records(self):
+        """Uncharged walk of every stored ``(rect, rid)`` entry."""
+        stack = [self._root_pid]
+        while stack:
+            node: _Node = self.store.peek(stack.pop())
+            if node.is_leaf:
+                yield from zip(node.rects, node.children)
+            else:
+                stack.extend(node.children)
+
     # -- insertion ----------------------------------------------------------
 
     def _insert(self, rect: Rect, rid: object) -> None:

@@ -87,6 +87,11 @@ class TransformationSAM(SpatialAccessMethod):
     def directory_height(self) -> int:
         return self.pam.directory_height
 
+    def iter_records(self):
+        """Uncharged walk: the PAM's points mapped back to rectangles."""
+        for point, rid in self.pam.iter_records():
+            yield self._to_rect(point), rid
+
     def metrics(self) -> BuildMetrics:
         """Metrics come from the underlying PAM, with this SAM's build cost."""
         inner = self.pam.metrics()

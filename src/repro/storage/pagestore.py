@@ -98,6 +98,24 @@ class PageStore:
         """The :class:`PageKind` of page ``pid``."""
         return self._kinds[pid]
 
+    # -- audit accessors ---------------------------------------------------
+    #
+    # Auditors (repro.verify) must walk the file without disturbing the
+    # access counts or the path buffer, so they get uncharged, unobserved
+    # read-only views of the store's state.
+
+    def peek(self, pid: int) -> Any:
+        """A page's object without charging a read (audits only)."""
+        return self._objects[pid]
+
+    def is_pinned(self, pid: int) -> bool:
+        """Whether ``pid`` is pinned (uncharged; audits only)."""
+        return pid in self._pinned
+
+    def pinned_ids(self) -> set[int]:
+        """The set of pinned page ids (a copy; audits only)."""
+        return set(self._pinned)
+
     def page_ids(self) -> list[int]:
         """All live page identifiers (for audits and metrics)."""
         return list(self._objects)

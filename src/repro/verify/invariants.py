@@ -1,0 +1,423 @@
+"""Violation records, the audit collector and shared structural checks.
+
+An auditor receives an :class:`Audit` wrapping one access method and
+calls :meth:`Audit.check` for every invariant; failed checks accumulate
+as :class:`Violation` records instead of aborting, so one audit reports
+*all* broken invariants of a structure at once.  Checks read pages with
+:meth:`repro.storage.pagestore.PageStore.peek` and friends, which leave
+the access counters and the path buffer untouched.
+
+The helpers at module level cover substrates shared by several
+structures: the grid-file directory layer (GRID, 2-level GRID, twin
+grid), the B+-tree (zkd-B-tree, clipping SAM) and the PLOP grid (PLOP,
+quantile hashing, overlapping PLOP).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable
+
+from repro.storage.page import PageKind
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.interfaces import _AccessMethodBase
+
+__all__ = [
+    "Violation",
+    "AuditError",
+    "Audit",
+    "check_grid_layer",
+    "check_plop_grid",
+    "check_bplus_tree",
+]
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One broken invariant.
+
+    ``code`` is a stable machine-readable identifier of the invariant
+    (e.g. ``"rtree.mbr-exact"``); ``message`` is the human diagnosis.
+    """
+
+    code: str
+    message: str
+
+
+class AuditError(AssertionError):
+    """Raised by ``audit()`` when a structure violates its invariants."""
+
+    def __init__(self, structure: str, violations: Iterable[Violation]):
+        self.structure = structure
+        self.violations = list(violations)
+        lines = "\n".join(f"  [{v.code}] {v.message}" for v in self.violations)
+        super().__init__(
+            f"{structure}: {len(self.violations)} invariant violation(s)\n{lines}"
+        )
+
+
+class Audit:
+    """Collects invariant violations while walking one access method."""
+
+    def __init__(self, am: "_AccessMethodBase"):
+        self.am = am
+        self.store = am.store
+        self.violations: list[Violation] = []
+
+    def check(self, ok: object, code: str, message: str) -> bool:
+        """Record a violation unless ``ok`` is truthy; returns ``bool(ok)``."""
+        if not ok:
+            self.violations.append(Violation(code, message))
+        return bool(ok)
+
+    # -- generic checks ----------------------------------------------------
+
+    def check_record_count(self) -> None:
+        """``iter_records()`` must enumerate exactly ``len(am)`` records."""
+        try:
+            walked = sum(1 for _ in self.am.iter_records())
+        except Exception as exc:  # noqa: BLE001 - a broken walk is a finding
+            self.check(
+                False, "records.walk", f"iter_records() raised {exc!r}"
+            )
+            return
+        self.check(
+            walked == len(self.am),
+            "records.count",
+            f"iter_records() yields {walked} records, len() reports {len(self.am)}",
+        )
+
+    def check_page_accounting(
+        self, reachable: set[int], pinned: set[int]
+    ) -> None:
+        """Reachable pages and pins must match the store exactly.
+
+        ``reachable`` is the set of page ids the structure's walk found;
+        ``pinned`` the set it expects to be pinned (always a subset of
+        reachable).  Orphaned store pages (allocated, never freed, no
+        longer referenced) and dangling references both surface here.
+        """
+        live = set(self.store.page_ids())
+        orphans = live - reachable
+        dangling = reachable - live
+        self.check(
+            not orphans,
+            "pages.orphan",
+            f"store holds {len(orphans)} page(s) the walk never reached: "
+            f"{sorted(orphans)[:8]}",
+        )
+        self.check(
+            not dangling,
+            "pages.dangling",
+            f"walk referenced {len(dangling)} page(s) not in the store: "
+            f"{sorted(dangling)[:8]}",
+        )
+        actual_pins = self.store.pinned_ids()
+        self.check(
+            actual_pins == pinned,
+            "pages.pins",
+            f"pinned pages {sorted(actual_pins)} != expected {sorted(pinned)}",
+        )
+
+    def check_kind(self, pid: int, kind: PageKind, code: str) -> None:
+        actual = self.store.kind(pid)
+        self.check(
+            actual is kind,
+            code,
+            f"page {pid} has kind {actual.value}, expected {kind.value}",
+        )
+
+
+# -- grid-file directory layer -------------------------------------------
+
+
+def check_grid_layer(audit: Audit, layer, prefix: str, where: str = "") -> None:
+    """Structural checks for one ``_GridLayer`` (scales, cells, boxes).
+
+    Invariants:
+
+    * each axis scale is strictly increasing and spans the layer region;
+    * every grid cell carries a payload, and the box registry assigns
+      every cell to exactly one payload box;
+    * each box is a valid (inclusive) index range whose cells all map
+      back to the box's payload.
+    """
+    tag = f" {where}" if where else ""
+    for axis, scale in enumerate(layer.scales):
+        ok = (
+            len(scale) >= 2
+            and all(a < b for a, b in zip(scale, scale[1:]))
+            and scale[0] == layer.region.lo[axis]
+            and scale[-1] == layer.region.hi[axis]
+        )
+        audit.check(
+            ok,
+            f"{prefix}.scales",
+            f"axis-{axis} scale{tag} is not a strictly increasing partition "
+            f"of [{layer.region.lo[axis]}, {layer.region.hi[axis]}]: {scale}",
+        )
+    total = layer.total_cells()
+    audit.check(
+        len(layer.cells) == total,
+        f"{prefix}.coverage",
+        f"grid{tag} has {len(layer.cells)} assigned cells, expected {total}",
+    )
+    covered = 0
+    for pid, (lo_idx, hi_idx) in layer.boxes.items():
+        box_ok = all(
+            0 <= lo <= hi < layer.ncells(axis)
+            for axis, (lo, hi) in enumerate(zip(lo_idx, hi_idx))
+        )
+        if not audit.check(
+            box_ok,
+            f"{prefix}.box-range",
+            f"box of payload {pid}{tag} has invalid index range "
+            f"{lo_idx}..{hi_idx}",
+        ):
+            continue
+        idx = list(lo_idx)
+        while True:
+            covered += 1
+            cell_pid = layer.cells.get(tuple(idx))
+            if cell_pid != pid:
+                audit.check(
+                    False,
+                    f"{prefix}.box-cells",
+                    f"cell {tuple(idx)}{tag} maps to {cell_pid}, but lies in "
+                    f"the box of payload {pid}",
+                )
+            axis = 0
+            while axis < layer.dims:
+                idx[axis] += 1
+                if idx[axis] <= hi_idx[axis]:
+                    break
+                idx[axis] = lo_idx[axis]
+                axis += 1
+            if axis == layer.dims:
+                break
+    audit.check(
+        covered == total,
+        f"{prefix}.partition",
+        f"boxes{tag} cover {covered} cells, expected {total} "
+        "(every cell belongs to exactly one box)",
+    )
+
+
+# -- PLOP grid ------------------------------------------------------------
+
+
+def check_plop_grid(audit: Audit, grid, prefix: str) -> set[int]:
+    """Structural checks for one ``_PlopGrid``; returns reachable pids.
+
+    Invariants:
+
+    * slice boundaries per axis are strictly increasing from 0.0 to 1.0;
+    * every record sits in the bucket its key hashes to (``address``);
+    * no page ever exceeds capacity (PLOP chains overflow pages instead);
+    * the grid's page and record counters match the chains exactly.
+    """
+    for axis, scale in enumerate(grid.slices):
+        ok = (
+            len(scale) >= 2
+            and all(a < b for a, b in zip(scale, scale[1:]))
+            and scale[0] == 0.0
+            and scale[-1] == 1.0
+        )
+        audit.check(
+            ok,
+            f"{prefix}.slices",
+            f"axis-{axis} slices are not a strictly increasing partition "
+            f"of [0, 1]: {scale}",
+        )
+    pids: list[int] = []
+    records = 0
+    for idx, bucket in grid.buckets.items():
+        audit.check(
+            len(idx) == grid.dims
+            and all(
+                0 <= i < len(grid.slices[axis]) - 1
+                for axis, i in enumerate(idx)
+            ),
+            f"{prefix}.bucket-index",
+            f"bucket index {idx} is outside the slice grid",
+        )
+        audit.check(
+            bucket.chain,
+            f"{prefix}.chain-empty",
+            f"bucket {idx} has an empty page chain",
+        )
+        for pid in bucket.chain:
+            pids.append(pid)
+            audit.check_kind(pid, PageKind.DATA, f"{prefix}.page-kind")
+            page = audit.store.peek(pid)
+            audit.check(
+                len(page.records) <= grid.capacity,
+                f"{prefix}.capacity",
+                f"page {pid} of bucket {idx} holds {len(page.records)} "
+                f"records, capacity {grid.capacity} (PLOP pages never "
+                "overflow; chains grow instead)",
+            )
+            records += len(page.records)
+            for record in page.records:
+                home = grid.address(grid.key_of(record))
+                audit.check(
+                    home == idx,
+                    f"{prefix}.placement",
+                    f"record {record!r} on page {pid} hashes to bucket "
+                    f"{home}, stored in {idx}",
+                )
+    audit.check(
+        len(pids) == len(set(pids)),
+        f"{prefix}.chain-shared",
+        "a page appears in more than one bucket chain",
+    )
+    audit.check(
+        grid._pages == len(pids),
+        f"{prefix}.page-count",
+        f"grid counts {grid._pages} pages, chains hold {len(pids)}",
+    )
+    audit.check(
+        grid._records == records,
+        f"{prefix}.record-count",
+        f"grid counts {grid._records} records, pages hold {records}",
+    )
+    return set(pids)
+
+
+# -- B+-tree --------------------------------------------------------------
+
+
+def check_bplus_tree(audit: Audit, tree, prefix: str) -> set[int]:
+    """Structural checks for one ``_BPlusTree``; returns reachable pids.
+
+    Invariants:
+
+    * the root (and only the root) is pinned;
+    * inner nodes keep ``len(pids) == len(keys) + 1`` with keys in
+      non-decreasing order, at most ``inner_capacity`` children;
+    * every key in child ``i`` lies in the separator interval
+      ``[keys[i-1], keys[i])`` — strictly below the right separator
+      because equal-key runs are never cut by a leaf split;
+    * leaves hold sorted keys, at most ``leaf_capacity`` of them unless
+      all keys are equal (the tolerated oversized-leaf case);
+    * all leaves sit at the same depth and the sibling chain from the
+      leftmost leaf enumerates exactly the leaves in key order.
+    """
+    store = tree.store
+    audit.check(
+        store.pinned_ids() == {tree.root_pid},
+        f"{prefix}.pin",
+        f"pinned pages {sorted(store.pinned_ids())} != root {{{tree.root_pid}}}",
+    )
+    inner_pids: set[int] = set()
+    leaf_order: list[int] = []
+    leaf_depths: set[int] = set()
+    # (pid, is_leaf, depth, lower bound incl. or None, upper bound excl. or None)
+    stack = [(tree.root_pid, tree.root_is_leaf, 1, None, None)]
+    while stack:
+        pid, is_leaf, depth, lo, hi = stack.pop()
+        if is_leaf:
+            leaf_order.append(pid)
+            leaf_depths.add(depth)
+            audit.check_kind(pid, PageKind.DATA, f"{prefix}.leaf-kind")
+            leaf = store.peek(pid)
+            audit.check(
+                all(a <= b for a, b in zip(leaf.keys, leaf.keys[1:])),
+                f"{prefix}.leaf-sorted",
+                f"leaf {pid} keys are not sorted",
+            )
+            audit.check(
+                len(leaf.keys) == len(leaf.values),
+                f"{prefix}.leaf-arity",
+                f"leaf {pid} has {len(leaf.keys)} keys, {len(leaf.values)} values",
+            )
+            if len(leaf.keys) > tree.leaf_capacity:
+                audit.check(
+                    len(set(leaf.keys)) == 1,
+                    f"{prefix}.leaf-capacity",
+                    f"leaf {pid} holds {len(leaf.keys)} keys, capacity "
+                    f"{tree.leaf_capacity}, and they are not all equal "
+                    "(only an uncuttable equal-key run may overflow)",
+                )
+            for key in leaf.keys:
+                audit.check(
+                    (lo is None or key >= lo) and (hi is None or key < hi),
+                    f"{prefix}.separators",
+                    f"leaf {pid} key {key!r} outside separator interval "
+                    f"[{lo!r}, {hi!r})",
+                )
+        else:
+            inner_pids.add(pid)
+            audit.check_kind(pid, PageKind.DIRECTORY, f"{prefix}.inner-kind")
+            node = store.peek(pid)
+            audit.check(
+                len(node.pids) == len(node.keys) + 1,
+                f"{prefix}.inner-arity",
+                f"inner {pid} has {len(node.pids)} children, "
+                f"{len(node.keys)} separators",
+            )
+            audit.check(
+                len(node.pids) <= tree.inner_capacity,
+                f"{prefix}.inner-capacity",
+                f"inner {pid} has {len(node.pids)} children, capacity "
+                f"{tree.inner_capacity}",
+            )
+            audit.check(
+                all(a <= b for a, b in zip(node.keys, node.keys[1:])),
+                f"{prefix}.inner-sorted",
+                f"inner {pid} separators are not sorted",
+            )
+            # The tree tracks its height, so the children of a node at
+            # depth == height are the leaves.
+            children_are_leaves = depth == tree.height
+            bounds = [lo, *node.keys, hi]
+            for i, child in enumerate(node.pids):
+                stack.append(
+                    (child, children_are_leaves, depth + 1, bounds[i], bounds[i + 1])
+                )
+    audit.check(
+        len(leaf_depths) == 1,
+        f"{prefix}.balance",
+        f"leaves found at depths {sorted(leaf_depths)}; a B+-tree is balanced",
+    )
+    # The walk above pushes children right-to-left onto a stack, so
+    # leaf_order is not key order; recover key order by following the
+    # sibling chain and compare as sets plus chain-sortedness.
+    chain: list[int] = []
+    pid = _leftmost_leaf(tree)
+    seen_chain: set[int] = set()
+    prev_last = None
+    while pid is not None:
+        if pid in seen_chain:
+            audit.check(False, f"{prefix}.chain-cycle", f"sibling chain revisits leaf {pid}")
+            break
+        seen_chain.add(pid)
+        chain.append(pid)
+        leaf = store.peek(pid)
+        if leaf.keys:
+            audit.check(
+                prev_last is None or prev_last <= leaf.keys[0],
+                f"{prefix}.chain-sorted",
+                f"leaf {pid} starts below the previous leaf's last key",
+            )
+            prev_last = leaf.keys[-1]
+        pid = leaf.next_pid
+    audit.check(
+        set(chain) == set(leaf_order),
+        f"{prefix}.chain-coverage",
+        f"sibling chain covers {len(chain)} leaves, tree walk found "
+        f"{len(leaf_order)}",
+    )
+    return inner_pids | set(leaf_order)
+
+
+def _leftmost_leaf(tree):
+    pid, is_leaf = tree.root_pid, tree.root_is_leaf
+    depth = 1
+    while not is_leaf:
+        node = tree.store.peek(pid)
+        pid = node.pids[0]
+        is_leaf = depth == tree.height
+        depth += 1
+    return pid

@@ -1,0 +1,103 @@
+"""Brute-force reference implementations for differential testing.
+
+The oracles keep every record in a plain list and answer all query
+types by linear scan — trivially correct, trivially slow.  The fuzzer
+(:mod:`repro.verify.fuzz`) runs every access method against the
+matching oracle and flags any divergence.
+"""
+
+from __future__ import annotations
+
+from repro.geometry.rect import Rect
+
+__all__ = ["PamOracle", "SamOracle"]
+
+
+class PamOracle:
+    """Linear-scan reference for point access methods."""
+
+    def __init__(self, dims: int = 2):
+        self.dims = dims
+        self.records: list[tuple[tuple[float, ...], object]] = []
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def insert(self, point: tuple[float, ...], rid: object) -> None:
+        self.records.append((tuple(point), rid))
+
+    def delete(self, point: tuple[float, ...], rid: object) -> bool:
+        try:
+            self.records.remove((tuple(point), rid))
+        except ValueError:
+            return False
+        return True
+
+    def exact_match(self, point: tuple[float, ...]) -> list[object]:
+        point = tuple(point)
+        return sorted(
+            (rid for p, rid in self.records if p == point), key=repr
+        )
+
+    def range_query(self, rect: Rect) -> list[tuple[tuple[float, ...], object]]:
+        return sorted(
+            ((p, rid) for p, rid in self.records if rect.contains_point(p)),
+            key=repr,
+        )
+
+    def partial_match(
+        self, specified: dict[int, float]
+    ) -> list[tuple[tuple[float, ...], object]]:
+        return sorted(
+            (
+                (p, rid)
+                for p, rid in self.records
+                if all(p[axis] == value for axis, value in specified.items())
+            ),
+            key=repr,
+        )
+
+
+class SamOracle:
+    """Linear-scan reference for spatial access methods."""
+
+    def __init__(self, dims: int = 2):
+        self.dims = dims
+        self.records: list[tuple[Rect, object]] = []
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def insert(self, rect: Rect, rid: object) -> None:
+        self.records.append((rect, rid))
+
+    def delete(self, rect: Rect, rid: object) -> bool:
+        try:
+            self.records.remove((rect, rid))
+        except ValueError:
+            return False
+        return True
+
+    def point_query(self, point: tuple[float, ...]) -> list[object]:
+        point = tuple(point)
+        return sorted(
+            (rid for r, rid in self.records if r.contains_point(point)),
+            key=repr,
+        )
+
+    def intersection(self, query: Rect) -> list[object]:
+        return sorted(
+            (rid for r, rid in self.records if r.intersects(query)), key=repr
+        )
+
+    def containment(self, query: Rect) -> list[object]:
+        return sorted(
+            (rid for r, rid in self.records if query.contains_rect(r)),
+            key=repr,
+        )
+
+    def enclosure(self, query: Rect) -> list[object]:
+        return sorted(
+            (rid for r, rid in self.records if r.contains_rect(query)),
+            key=repr,
+        )

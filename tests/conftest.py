@@ -1,13 +1,34 @@
-"""Shared fixtures and brute-force oracles for the test suite."""
+"""Shared fixtures and brute-force oracles for the test suite.
+
+Setting ``REPRO_CI=1`` loads a deterministic hypothesis profile:
+``derandomize=True`` replaces hypothesis's random exploration with a
+fixed example stream derived from each test's source, so two CI runs of
+the same tree execute byte-identical examples, and ``deadline=None``
+removes per-example time limits that flake on loaded runners.  The
+profile is registered unconditionally (so ``--hypothesis-profile=ci``
+also works) but only loaded when the variable is set; local runs keep
+the default randomised exploration, which finds new bugs.
+"""
 
 from __future__ import annotations
 
+import os
 import random
 
 import pytest
+from hypothesis import HealthCheck, settings
 
 from repro.geometry.rect import Rect
 from repro.storage.pagestore import PageStore
+
+settings.register_profile(
+    "ci",
+    derandomize=True,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+if os.environ.get("REPRO_CI") == "1":
+    settings.load_profile("ci")
 
 
 @pytest.fixture

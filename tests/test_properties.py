@@ -107,6 +107,52 @@ class TestSamProperties:
             assert sorted(sam.point_query((x, y))) == expected, name
 
 
+class TestFullMatrixProperties:
+    """Every access method in the fuzz matrix obeys the oracle contract
+    on the query types the older tests left uncovered: partial match for
+    all PAMs, containment and enclosure for all SAMs."""
+
+    @settings(max_examples=8, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(points=point_sets, axis=st.integers(0, 1), pick=st.integers(0, 10**6))
+    def test_partial_match_on_every_pam(self, points, axis, pick):
+        from repro.verify.fuzz import STRUCTURES
+
+        value = points[pick % len(points)][axis]
+        probe = 0.123456789  # an almost-certain miss, still in the cube
+        expected = sorted(
+            (p, i) for i, p in enumerate(points) if p[axis] == value
+        )
+        probe_expected = sorted(
+            (p, i) for i, p in enumerate(points) if p[axis] == probe
+        )
+        for name, spec in STRUCTURES.items():
+            if spec["kind"] != "pam":
+                continue
+            pam = spec["factory"](PageStore())
+            for i, p in enumerate(points):
+                pam.insert(p, i)
+            assert sorted(pam.partial_match({axis: value})) == expected, name
+            assert sorted(pam.partial_match({axis: probe})) == probe_expected, name
+
+    @settings(max_examples=8, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(rects=rect_sets(), query=query_rect())
+    def test_containment_and_enclosure_on_every_sam(self, rects, query):
+        from repro.verify.fuzz import STRUCTURES
+
+        contain = sorted(i for i, r in enumerate(rects) if query.contains_rect(r))
+        enclose = sorted(i for i, r in enumerate(rects) if r.contains_rect(query))
+        for name, spec in STRUCTURES.items():
+            if spec["kind"] != "sam":
+                continue
+            sam = spec["factory"](PageStore())
+            for i, r in enumerate(rects):
+                sam.insert(r, i)
+            assert sorted(sam.containment(query)) == contain, name
+            assert sorted(sam.enclosure(query)) == enclose, name
+
+
 class TestDeletionProperties:
     @PAM_SETTINGS
     @given(points=point_sets, keep=st.integers(0, 50))
@@ -170,4 +216,7 @@ class TestExtendedStructureProperties:
         )
         assert sorted(sam.containment(query)) == sorted(
             i for i, r in enumerate(rects) if query.contains_rect(r)
+        )
+        assert sorted(sam.enclosure(query)) == sorted(
+            i for i, r in enumerate(rects) if r.contains_rect(query)
         )

@@ -1,0 +1,351 @@
+"""The verification subsystem itself: auditors, oracle, fuzzer, wiring.
+
+Three angles: (1) every structure's auditor is green on honest builds,
+(2) auditors actually *detect* injected page-level corruption, and
+(3) the differential fuzzer finds, shrinks and replays a planted bug.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.geometry.rect import Rect
+from repro.pam.buddytree import BuddyTree
+from repro.pam.mlgf import MultilevelGridFile
+from repro.pam.plop import QuantileHashing
+from repro.sam.rtree import RTree
+from repro.storage.page import PageKind
+from repro.storage.pagestore import PageStore
+from repro.verify import Audit, AuditError, Violation, run_audit
+from repro.verify.fuzz import (
+    STRUCTURES,
+    fuzz_structure,
+    make_ops,
+    replay,
+    run_ops,
+    shrink_ops,
+    structure_seed,
+)
+from repro.verify.oracle import PamOracle, SamOracle
+
+from tests.conftest import make_clustered_points, make_points, make_rects
+
+
+class TestAuditorsGreen:
+    """Honest builds across every structure carry zero violations."""
+
+    @pytest.mark.parametrize("name", sorted(STRUCTURES))
+    def test_audit_green_after_build(self, name):
+        spec = STRUCTURES[name]
+        am = spec["factory"](PageStore())
+        if spec["kind"] == "pam":
+            for rid, point in enumerate(make_points(150, seed=7)):
+                am.insert(point, rid)
+        else:
+            for rid, rect in enumerate(make_rects(150, seed=7)):
+                am.insert(rect, rid)
+        if spec["pack_every"]:
+            am.pack()
+        assert run_audit(am) == []
+        am.audit()  # must not raise
+
+    @pytest.mark.parametrize("name", ["BUDDY", "BANG", "HB", "GRID", "KDB"])
+    def test_audit_green_on_clustered_data(self, name):
+        am = STRUCTURES[name]["factory"](PageStore())
+        for rid, point in enumerate(make_clustered_points(200, seed=3)):
+            am.insert(point, rid)
+        assert run_audit(am) == []
+
+    def test_audit_green_after_deletions(self):
+        tree = BuddyTree(PageStore(), 2)
+        points = make_points(120, seed=11)
+        for rid, point in enumerate(points):
+            tree.insert(point, rid)
+        for rid, point in enumerate(points[::2]):
+            assert tree.delete(point, 2 * rid)
+        assert run_audit(tree) == []
+
+    def test_buddy_plus_mixed_pack_insert_sequence(self):
+        """Regression: directory splits after pack() used to separate
+        entries sharing a data page (violating property 4) and to leave
+        stale MBRs behind after unsharing.  This replays the seeded fuzz
+        sequence that found both."""
+        from repro.verify.fuzz import make_ops, run_ops, structure_seed
+
+        spec = STRUCTURES["BUDDY+"]
+        ops = make_ops(spec, 400, structure_seed("BUDDY+", 0))
+        assert run_ops(spec, ops, audit_every=10) is None
+
+    def test_mro_dispatch_covers_subclasses(self):
+        """MLGF and QUANTILE have no auditor of their own; the base
+        class auditor must be found through the MRO, not reported
+        missing."""
+        for cls in (MultilevelGridFile, QuantileHashing):
+            am = cls(PageStore(), 2)
+            for rid, point in enumerate(make_points(60, seed=5)):
+                am.insert(point, rid)
+            violations = run_audit(am)
+            assert violations == []
+
+    def test_unregistered_type_reports_missing_auditor(self):
+        class NotAnAccessMethod:
+            store = PageStore()
+
+            def iter_records(self):
+                return iter(())
+
+            def __len__(self):
+                return 0
+
+        violations = run_audit(NotAnAccessMethod())
+        assert [v.code for v in violations] == ["auditor.missing"]
+
+
+class TestCorruptionDetection:
+    """Auditors flag page-level corruption injected behind the API."""
+
+    def _data_pages(self, store):
+        return [
+            pid for pid in store.page_ids() if store.kind(pid) == PageKind.DATA
+        ]
+
+    def test_buddy_detects_misplaced_record(self):
+        tree = BuddyTree(PageStore(), 2)
+        for rid, point in enumerate(make_points(120, seed=1)):
+            tree.insert(point, rid)
+        pages = self._data_pages(tree.store)
+        assert len(pages) >= 2
+        src = tree.store.peek(pages[0])
+        dst = tree.store.peek(pages[1])
+        dst.records.append(src.records.pop())
+        codes = {v.code for v in run_audit(tree)}
+        assert "buddy.mbr-exact" in codes
+        with pytest.raises(AuditError) as err:
+            tree.audit()
+        assert err.value.violations
+
+    def test_buddy_detects_lost_record(self):
+        tree = BuddyTree(PageStore(), 2)
+        for rid, point in enumerate(make_points(80, seed=2)):
+            tree.insert(point, rid)
+        page = tree.store.peek(self._data_pages(tree.store)[0])
+        page.records.pop()
+        codes = {v.code for v in run_audit(tree)}
+        assert "records.count" in codes
+
+    def test_rtree_detects_stale_mbr(self):
+        tree = RTree(PageStore(), 2)
+        for rid, rect in enumerate(make_rects(80, seed=1)):
+            tree.insert(rect, rid)
+        root = tree.store.peek(tree._root_pid)
+        assert not root.is_leaf, "need a directory root for this test"
+        lo, hi = root.rects[0].lo, root.rects[0].hi
+        root.rects[0] = Rect(lo, tuple(min(1.0, h + 0.25) for h in hi))
+        codes = {v.code for v in run_audit(tree)}
+        assert "rtree.mbr-exact" in codes
+
+    def test_audit_error_message_lists_codes(self):
+        tree = BuddyTree(PageStore(), 2)
+        for rid, point in enumerate(make_points(120, seed=1)):
+            tree.insert(point, rid)
+        pages = self._data_pages(tree.store)
+        dst = tree.store.peek(pages[1])
+        dst.records.append(tree.store.peek(pages[0]).records.pop())
+        with pytest.raises(AuditError, match=r"buddy\.mbr-exact"):
+            tree.audit()
+
+    def test_violation_is_hashable_value_object(self):
+        a = Violation("x.code", "message")
+        b = Violation("x.code", "message")
+        assert a == b and hash(a) == hash(b)
+
+    def test_audit_object_collects_checks(self):
+        tree = BuddyTree(PageStore(), 2)
+        audit = Audit(tree)
+        assert audit.check(True, "ok", "never recorded")
+        assert not audit.check(False, "bad", "recorded")
+        assert [v.code for v in audit.violations] == ["bad"]
+
+
+class TestOracles:
+    def test_pam_oracle_round_trip(self):
+        oracle = PamOracle()
+        oracle.insert((0.1, 0.2), 0)
+        oracle.insert((0.3, 0.4), 1)
+        assert oracle.exact_match((0.1, 0.2)) == [0]
+        assert oracle.partial_match({0: 0.3}) == [((0.3, 0.4), 1)]
+        assert oracle.delete((0.1, 0.2), 0)
+        assert not oracle.delete((0.1, 0.2), 0)
+        assert oracle.range_query(Rect.unit(2)) == [((0.3, 0.4), 1)]
+
+    def test_sam_oracle_query_types(self):
+        oracle = SamOracle()
+        oracle.insert(Rect((0.1, 0.1), (0.4, 0.4)), "a")
+        oracle.insert(Rect((0.2, 0.2), (0.3, 0.3)), "b")
+        probe = Rect((0.15, 0.15), (0.35, 0.35))
+        assert oracle.intersection(probe) == ["a", "b"]
+        assert oracle.containment(probe) == ["b"]
+        assert oracle.enclosure(Rect((0.25, 0.25), (0.26, 0.26))) == ["a", "b"]
+        assert oracle.point_query((0.25, 0.25)) == ["a", "b"]
+        assert oracle.delete(Rect((0.2, 0.2), (0.3, 0.3)), "b")
+        assert oracle.intersection(probe) == ["a"]
+
+
+class TestFuzzer:
+    def test_ops_are_deterministic(self):
+        for name in ("BUDDY", "R"):
+            spec = STRUCTURES[name]
+            seed = structure_seed(name, 0)
+            assert make_ops(spec, 80, seed) == make_ops(spec, 80, seed)
+
+    def test_structure_seeds_are_distinct(self):
+        seeds = {structure_seed(name, 0) for name in STRUCTURES}
+        assert len(seeds) == len(STRUCTURES)
+
+    @pytest.mark.parametrize("name", ["GRID-1", "BUDDY", "BUDDY+", "R", "CLIP"])
+    def test_run_ops_green_smoke(self, name):
+        spec = STRUCTURES[name]
+        ops = make_ops(spec, 150, structure_seed(name, 0))
+        assert run_ops(spec, ops, audit_every=25) is None
+
+    def test_fuzz_structure_green_writes_nothing(self, tmp_path):
+        assert fuzz_structure("ZB", 100, 0, 20, tmp_path) is None
+        assert list(tmp_path.iterdir()) == []
+
+    def test_fuzzer_finds_shrinks_and_replays_planted_bug(
+        self, tmp_path, monkeypatch
+    ):
+        class _LyingBuddy(BuddyTree):
+            """Drops every rid >= 3 from exact-match answers."""
+
+            def exact_match(self, point):
+                return [
+                    rid
+                    for rid in super().exact_match(point)
+                    if not (isinstance(rid, int) and rid >= 3)
+                ]
+
+        spec = {
+            "kind": "pam",
+            "factory": lambda s: _LyingBuddy(s, 2),
+            "deletes": False,
+            "pack_every": None,
+        }
+        points = make_points(6, seed=9)
+        ops = [["insert", list(p), rid] for rid, p in enumerate(points)]
+        ops += [["exact", list(p)] for p in points]
+        failure = run_ops(spec, ops, audit_every=0)
+        assert failure is not None and failure["code"] == "mismatch"
+
+        shrunk = shrink_ops(
+            lambda candidate: run_ops(spec, candidate, 0) is not None, ops
+        )
+        # Minimal reproducer: one insert with rid >= 3, one exact query.
+        assert len(shrunk) == 2
+        assert shrunk[0][0] == "insert" and shrunk[0][2] >= 3
+        assert shrunk[1] == ["exact", shrunk[0][1]]
+
+        monkeypatch.setitem(STRUCTURES, "LYING", spec)
+        report = fuzz_structure("LYING", 40, 0, 10, tmp_path)
+        assert report is not None and report["code"] == "mismatch"
+        path = tmp_path / "LYING-seed0.json"
+        assert report["reproducer"] == str(path)
+        blob = json.loads(path.read_text())
+        assert blob["structure"] == "LYING"
+        assert blob["ops"] and blob["failure"]["code"] == "mismatch"
+        assert replay(path) is not None
+
+    def test_reproducer_filenames_escape_shell_chars(self, tmp_path, monkeypatch):
+        class _Broken(BuddyTree):
+            def exact_match(self, point):
+                return []
+
+        spec = {
+            "kind": "pam",
+            "factory": lambda s: _Broken(s, 2),
+            "deletes": False,
+            "pack_every": None,
+        }
+        monkeypatch.setitem(STRUCTURES, "BAD*", spec)
+        report = fuzz_structure("BAD*", 40, 0, 0, tmp_path)
+        assert report is not None
+        assert (tmp_path / "BADstar-seed0.json").is_file()
+
+    def test_cli_green_run(self, tmp_path, capsys):
+        from repro.verify.fuzz import main
+
+        rc = main(
+            [
+                "--ops",
+                "80",
+                "--seed",
+                "0",
+                "--structures",
+                "GRID,BUDDY",
+                "--out",
+                str(tmp_path),
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "GRID" in out and "ok" in out
+
+    def test_cli_rejects_unknown_structure(self, tmp_path):
+        from repro.verify.fuzz import main
+
+        with pytest.raises(SystemExit):
+            main(["--structures", "NOPE", "--out", str(tmp_path)])
+
+
+class TestExperimentWiring:
+    def test_build_pam_audit_flag(self):
+        from repro.core.comparison import build_pam
+
+        pam = build_pam(
+            lambda s, dims=2: BuddyTree(s, dims),
+            make_points(60, seed=4),
+            audit=True,
+        )
+        assert len(pam) == 60
+
+    def test_build_sam_audit_flag(self):
+        from repro.core.comparison import build_sam
+
+        sam = build_sam(
+            lambda s, dims=2: RTree(s, dims), make_rects(60, seed=4), audit=True
+        )
+        assert len(sam) == 60
+
+    def test_audit_env_variable(self, monkeypatch):
+        from repro.core.comparison import _audit_requested
+
+        monkeypatch.delenv("REPRO_AUDIT", raising=False)
+        assert not _audit_requested(None)
+        assert _audit_requested(True)
+        assert not _audit_requested(False)
+        for value in ("0", "off", "no", "false", ""):
+            monkeypatch.setenv("REPRO_AUDIT", value)
+            assert not _audit_requested(None)
+        monkeypatch.setenv("REPRO_AUDIT", "1")
+        assert _audit_requested(None)
+        assert not _audit_requested(False)  # explicit beats the env
+
+    def test_parallel_experiment_rejects_audit(self):
+        from repro.core.comparison import run_pam_experiment, run_sam_experiment
+
+        with pytest.raises(ValueError, match="workers=1"):
+            run_pam_experiment({}, [], workers=2, audit=True)
+        with pytest.raises(ValueError, match="workers=1"):
+            run_sam_experiment({}, [], workers=2, audit=True)
+
+    def test_experiment_with_audit_enabled(self):
+        from repro.core.comparison import run_pam_experiment
+
+        results = run_pam_experiment(
+            {"BUDDY": lambda s, dims=2: BuddyTree(s, dims)},
+            make_points(80, seed=6),
+            audit=True,
+        )
+        assert results["BUDDY"].metrics.records == 80
