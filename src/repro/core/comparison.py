@@ -15,6 +15,7 @@ from typing import Callable, Sequence
 from repro.core.interfaces import PointAccessMethod, SpatialAccessMethod
 from repro.core.stats import BuildMetrics
 from repro.geometry.rect import Rect
+from repro.query.driver import run_query_file
 from repro.storage.pagestore import PageStore
 from repro.workloads.queries import (
     RANGE_QUERY_VOLUMES,
@@ -78,6 +79,7 @@ def build_pam(
     page_size: int = 512,
     tracer=None,
     audit: bool | None = None,
+    vector: bool | None = None,
 ) -> PointAccessMethod:
     """Build a fresh PAM over its own page store and insert all points.
 
@@ -89,8 +91,12 @@ def build_pam(
     (:mod:`repro.verify`) on the finished build and raises
     :class:`repro.verify.AuditError` on any violation; ``None`` defers
     to the ``REPRO_AUDIT`` environment variable.
+
+    ``vector`` forces the store's columnar cache on or off; ``None``
+    defers to ``REPRO_VECTOR`` (default on).  Builds are identical
+    either way — the cache only accelerates query-time filtering.
     """
-    store = PageStore(page_size)
+    store = PageStore(page_size, vector=vector)
     if tracer is not None:
         tracer.set_context(op="setup").attach(store)
     pam = factory(store, dims=dims)
@@ -110,12 +116,13 @@ def build_sam(
     page_size: int = 512,
     tracer=None,
     audit: bool | None = None,
+    vector: bool | None = None,
 ) -> SpatialAccessMethod:
     """Build a fresh SAM over its own page store and insert all rectangles.
 
-    ``audit`` behaves as in :func:`build_pam`.
+    ``audit`` and ``vector`` behave as in :func:`build_pam`.
     """
-    store = PageStore(page_size)
+    store = PageStore(page_size, vector=vector)
     if tracer is not None:
         tracer.set_context(op="setup").attach(store)
     sam = factory(store, dims=dims)
@@ -134,49 +141,45 @@ def run_pam_queries(
     """Run the five query files of §3 against a built PAM.
 
     With a ``tracer``, each query file's operations are recorded as
-    spans labelled with the file's query type.
+    spans labelled with the file's query type.  Each file runs through
+    :func:`repro.query.driver.run_query_file`, so a store with a
+    columnar cache evaluates the whole file as one batched workload.
     """
     result = MethodResult(type(pam).__name__, pam.metrics())
     for label, volume in zip(PAM_QUERY_TYPES[:3], RANGE_QUERY_VOLUMES):
         if tracer is not None:
             tracer.set_context(op=label)
         queries = generate_range_queries(volume, seed=seed)
-        total_cost = total_hits = 0
-        for rect in queries:
-            cost, hits = measure(pam.store, lambda r=rect: pam.range_query(r))
-            total_cost += cost
-            total_hits += len(hits)
-        result.query_costs[label] = total_cost / len(queries)
-        result.query_results[label] = total_hits
+        outcomes = run_query_file(pam, "range", queries, pam.range_query)
+        result.query_costs[label] = sum(c for c, _ in outcomes) / len(queries)
+        result.query_results[label] = sum(len(hits) for _, hits in outcomes)
     for label, axis in (("pm_x", 0), ("pm_y", 1)):
         if tracer is not None:
             tracer.set_context(op=label)
         queries = generate_partial_match_queries(axis, seed=seed + 2)
-        total_cost = total_hits = 0
-        for spec in queries:
-            cost, hits = measure(pam.store, lambda s=spec: pam.partial_match(s))
-            total_cost += cost
-            total_hits += len(hits)
-        result.query_costs[label] = total_cost / len(queries)
-        result.query_results[label] = total_hits
+        outcomes = run_query_file(pam, "pm", queries, pam.partial_match)
+        result.query_costs[label] = sum(c for c, _ in outcomes) / len(queries)
+        result.query_results[label] = sum(len(hits) for _, hits in outcomes)
     return result
 
 
 def run_sam_queries(
     sam: SpatialAccessMethod, seed: int = 107, tracer=None
 ) -> MethodResult:
-    """Run the four query types of §7 against a built SAM."""
+    """Run the four query types of §7 against a built SAM.
+
+    Each query type runs as one batched workload via
+    :func:`repro.query.driver.run_query_file`.
+    """
     workload = generate_rect_query_workload(seed=seed)
     result = MethodResult(type(sam).__name__, sam.metrics())
-    total_cost = total_hits = 0
     if tracer is not None:
         tracer.set_context(op="point")
-    for point in workload["points"]:
-        cost, hits = measure(sam.store, lambda p=point: sam.point_query(p))
-        total_cost += cost
-        total_hits += len(hits)
-    result.query_costs["point"] = total_cost / len(workload["points"])
-    result.query_results["point"] = total_hits
+    outcomes = run_query_file(sam, "point", workload["points"], sam.point_query)
+    result.query_costs["point"] = sum(c for c, _ in outcomes) / len(
+        workload["points"]
+    )
+    result.query_results["point"] = sum(len(hits) for _, hits in outcomes)
     operations = {
         "intersection": sam.intersection,
         "enclosure": sam.enclosure,
@@ -185,13 +188,11 @@ def run_sam_queries(
     for label, operation in operations.items():
         if tracer is not None:
             tracer.set_context(op=label)
-        total_cost = total_hits = 0
-        for rect in workload["rectangles"]:
-            cost, hits = measure(sam.store, lambda r=rect: operation(r))
-            total_cost += cost
-            total_hits += len(hits)
-        result.query_costs[label] = total_cost / len(workload["rectangles"])
-        result.query_results[label] = total_hits
+        outcomes = run_query_file(sam, label, workload["rectangles"], operation)
+        result.query_costs[label] = sum(c for c, _ in outcomes) / len(
+            workload["rectangles"]
+        )
+        result.query_results[label] = sum(len(hits) for _, hits in outcomes)
     return result
 
 

@@ -105,6 +105,52 @@ class _AccessMethodBase(abc.ABC):
         if violations:
             raise AuditError(type(self).__name__, violations)
 
+    # -- batched query workloads -------------------------------------------
+
+    def register_query_workload(self, kind: str, queries: Sequence) -> None:
+        """Register a whole query file for batched vectorized evaluation.
+
+        ``kind`` is a query-type tag (``range``, ``pm``, ``point``,
+        ``intersection``, ``containment``, ``enclosure``) and ``queries``
+        the file's raw queries in execution order.  The driver
+        (:mod:`repro.query.driver`) marks the current query index before
+        each call, letting the scan helpers evaluate each visited page
+        against the *entire* batch in one kernel call.  Registration is
+        purely an evaluation hint: results and disk-access statistics are
+        identical with or without it, and it is a no-op when the store
+        has no columnar cache (``REPRO_VECTOR=0``).
+        """
+        cache = self.store.columnar
+        if cache is not None:
+            cache.begin_workload(self._workload_rects(kind, queries))
+
+    def end_query_workload(self) -> None:
+        """Deregister the batch installed by :meth:`register_query_workload`."""
+        cache = self.store.columnar
+        if cache is not None:
+            cache.end_workload()
+
+    def _workload_rects(self, kind: str, queries: Sequence) -> list:
+        """Map a query file to the boxes the scan paths will be asked about.
+
+        Must replicate the public query methods' conversions exactly, so
+        that the box a scan helper receives compares equal to the
+        registered one.  Structures that rewrite queries before scanning
+        (the transformation technique) override this.
+        """
+        if kind == "pm":
+            rects = []
+            for specified in queries:
+                lo = [0.0] * self.dims
+                hi = [1.0] * self.dims
+                for axis, value in specified.items():
+                    lo[axis] = hi[axis] = value
+                rects.append(Rect(tuple(lo), tuple(hi)))
+            return rects
+        if kind == "point":
+            return [Rect.from_point(tuple(float(c) for c in p)) for p in queries]
+        return list(queries)
+
     # -- operation bracketing ----------------------------------------------
 
     def _measured_insert(self, action) -> None:

@@ -16,6 +16,11 @@ run the whole standard comparison under a tracer and return the usual
 results together with a machine-readable
 :class:`~repro.obs.export.RunReport` (per-operation access histograms,
 percentiles, timings and exact totals).
+
+Queries run through the vectorized execution layer
+(:mod:`repro.query`) by default; set ``REPRO_VECTOR=0`` to force the
+original scalar scan loops.  Results and access counts are identical
+either way — only wall-clock time changes.
 """
 
 from __future__ import annotations

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import math
 
+from functools import lru_cache
 from typing import Sequence
 
 from repro.geometry.rect import Rect
@@ -53,6 +54,7 @@ def split_axis(bits: Bits, dims: int) -> int:
     return len(bits) % dims
 
 
+@lru_cache(maxsize=1 << 16)
 def block_rect(bits: Bits, dims: int) -> Rect:
     """The axis-parallel rectangle covered by block ``bits``.
 
@@ -60,6 +62,11 @@ def block_rect(bits: Bits, dims: int) -> Rect:
     need half-open semantics (a point on a shared boundary belongs to
     the *upper* block) should locate points with :func:`bits_of_point`
     rather than with geometric containment.
+
+    The function is pure over immutable arguments, and the BANG/BUDDY
+    scan paths recompute the same few thousand block rectangles for
+    every query, so results are memoized (``Rect`` is immutable, sharing
+    is safe).
     """
     lo = [0.0] * dims
     width = [1.0] * dims
@@ -69,7 +76,7 @@ def block_rect(bits: Bits, dims: int) -> Rect:
         if bit:
             lo[axis] += width[axis]
     hi = tuple(l + w for l, w in zip(lo, width))
-    return Rect(tuple(lo), hi)
+    return Rect._make(tuple(lo), hi)
 
 
 def bits_of_point(point: Sequence[float], dims: int, depth: int) -> Bits:

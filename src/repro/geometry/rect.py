@@ -11,7 +11,16 @@ from __future__ import annotations
 
 from typing import Iterable, Sequence
 
+try:  # numpy accelerates the bulk constructors; scalar fallbacks remain.
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
+
 __all__ = ["Rect"]
+
+#: Below this many inputs the scalar ``min``/``max`` loops beat the cost of
+#: materialising a NumPy array (micro-benchmarked in bench_micro_geometry).
+_VECTOR_MIN = 16
 
 
 class Rect:
@@ -42,15 +51,28 @@ class Rect:
     # -- constructors -------------------------------------------------
 
     @classmethod
+    def _make(cls, lo: tuple[float, ...], hi: tuple[float, ...]) -> "Rect":
+        """Internal constructor for *known-valid* tuples.
+
+        Skips the tuple re-wrap and the inversion check of ``__init__``;
+        only for callers that construct ``lo``/``hi`` as equal-length
+        tuples with ``lo[i] <= hi[i]`` by construction.
+        """
+        rect = object.__new__(cls)
+        object.__setattr__(rect, "lo", lo)
+        object.__setattr__(rect, "hi", hi)
+        return rect
+
+    @classmethod
     def unit(cls, dims: int) -> "Rect":
         """The unit cube ``[0, 1]^dims`` — the paper's data space."""
-        return cls((0.0,) * dims, (1.0,) * dims)
+        return cls._make((0.0,) * dims, (1.0,) * dims)
 
     @classmethod
     def from_point(cls, point: Sequence[float]) -> "Rect":
         """The degenerate rectangle covering exactly ``point``."""
         p = tuple(point)
-        return cls(p, p)
+        return cls._make(p, p)
 
     @classmethod
     def bounding(cls, rects: Iterable["Rect"]) -> "Rect":
@@ -58,10 +80,13 @@ class Rect:
         rects = list(rects)
         if not rects:
             raise ValueError("bounding() of an empty set")
-        dims = rects[0].dims
-        lo = tuple(min(r.lo[i] for r in rects) for i in range(dims))
-        hi = tuple(max(r.hi[i] for r in rects) for i in range(dims))
-        return cls(lo, hi)
+        if _np is not None and len(rects) >= _VECTOR_MIN:
+            lo = tuple(_np.min([r.lo for r in rects], axis=0).tolist())
+            hi = tuple(_np.max([r.hi for r in rects], axis=0).tolist())
+        else:
+            lo = tuple(map(min, zip(*(r.lo for r in rects))))
+            hi = tuple(map(max, zip(*(r.hi for r in rects))))
+        return cls._make(lo, hi)
 
     @classmethod
     def bounding_points(cls, points: Iterable[Sequence[float]]) -> "Rect":
@@ -69,10 +94,14 @@ class Rect:
         pts = [tuple(p) for p in points]
         if not pts:
             raise ValueError("bounding_points() of an empty set")
-        dims = len(pts[0])
-        lo = tuple(min(p[i] for p in pts) for i in range(dims))
-        hi = tuple(max(p[i] for p in pts) for i in range(dims))
-        return cls(lo, hi)
+        if _np is not None and len(pts) >= _VECTOR_MIN:
+            arr = _np.asarray(pts)
+            lo = tuple(arr.min(axis=0).tolist())
+            hi = tuple(arr.max(axis=0).tolist())
+        else:
+            lo = tuple(map(min, zip(*pts)))
+            hi = tuple(map(max, zip(*pts)))
+        return cls._make(lo, hi)
 
     # -- basic properties ---------------------------------------------
 
@@ -105,41 +134,51 @@ class Rect:
 
     def contains_point(self, point: Sequence[float]) -> bool:
         """True iff ``point`` lies inside the closed box."""
-        return all(l <= c <= h for l, c, h in zip(self.lo, point, self.hi))
+        for l, c, h in zip(self.lo, point, self.hi):
+            if not l <= c <= h:
+                return False
+        return True
 
     def contains_rect(self, other: "Rect") -> bool:
         """True iff ``other`` lies entirely inside this box."""
-        return all(l <= ol for l, ol in zip(self.lo, other.lo)) and all(
-            oh <= h for oh, h in zip(other.hi, self.hi)
-        )
+        for l, h, ol, oh in zip(self.lo, self.hi, other.lo, other.hi):
+            if not (l <= ol and oh <= h):
+                return False
+        return True
 
     def intersects(self, other: "Rect") -> bool:
-        """True iff the two closed boxes share at least one point."""
-        return all(l <= oh for l, oh in zip(self.lo, other.hi)) and all(
-            ol <= h for ol, h in zip(other.lo, self.hi)
-        )
+        """True iff the two closed boxes share at least one point.
+
+        Single pass with an early exit — the first separating axis
+        settles it, where the old per-axis generator pairs always walked
+        ``lo`` completely before looking at ``hi``.
+        """
+        for l, h, ol, oh in zip(self.lo, self.hi, other.lo, other.hi):
+            if not (l <= oh and ol <= h):
+                return False
+        return True
 
     # -- constructive operations ----------------------------------------
 
     def intersection(self, other: "Rect") -> "Rect | None":
         """The common box, or ``None`` when the boxes are disjoint."""
-        lo = tuple(max(a, b) for a, b in zip(self.lo, other.lo))
-        hi = tuple(min(a, b) for a, b in zip(self.hi, other.hi))
+        lo = tuple(map(max, self.lo, other.lo))
+        hi = tuple(map(min, self.hi, other.hi))
         if any(l > h for l, h in zip(lo, hi)):
             return None
-        return Rect(lo, hi)
+        return Rect._make(lo, hi)
 
     def union(self, other: "Rect") -> "Rect":
         """Minimal bounding rectangle of the two boxes."""
-        lo = tuple(min(a, b) for a, b in zip(self.lo, other.lo))
-        hi = tuple(max(a, b) for a, b in zip(self.hi, other.hi))
-        return Rect(lo, hi)
+        return Rect._make(
+            tuple(map(min, self.lo, other.lo)), tuple(map(max, self.hi, other.hi))
+        )
 
     def expanded_to_point(self, point: Sequence[float]) -> "Rect":
         """Minimal bounding rectangle of this box and ``point``."""
-        lo = tuple(min(a, c) for a, c in zip(self.lo, point))
-        hi = tuple(max(a, c) for a, c in zip(self.hi, point))
-        return Rect(lo, hi)
+        return Rect._make(
+            tuple(map(min, self.lo, point)), tuple(map(max, self.hi, point))
+        )
 
     def enlargement(self, other: "Rect") -> float:
         """Extra volume needed to also cover ``other`` (R-tree heuristic)."""
@@ -155,7 +194,10 @@ class Rect:
         left_hi[axis] = coordinate
         right_lo = list(self.lo)
         right_lo[axis] = coordinate
-        return Rect(self.lo, tuple(left_hi)), Rect(tuple(right_lo), self.hi)
+        return (
+            Rect._make(self.lo, tuple(left_hi)),
+            Rect._make(tuple(right_lo), self.hi),
+        )
 
     # -- dunder -------------------------------------------------------
 

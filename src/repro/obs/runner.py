@@ -43,6 +43,7 @@ def _traced_run(
     record_events: bool,
     sink,
     meta: dict | None,
+    vector: bool | None,
 ) -> tuple[dict[str, MethodResult], RunReport]:
     tracer = Tracer(record_events=record_events, sink=sink)
     registry = MetricsRegistry()
@@ -51,7 +52,9 @@ def _traced_run(
     for name, factory in factories.items():
         tracer.set_context(structure=name, op="insert")
         with registry.timer(f"{name}/build"):
-            method = build(factory, data, page_size=page_size, tracer=tracer)
+            method = build(
+                factory, data, page_size=page_size, tracer=tracer, vector=vector
+            )
         with registry.timer(f"{name}/queries"):
             result = run_queries(method, seed=seed, tracer=tracer)
         result.name = name
@@ -81,12 +84,16 @@ def traced_pam_run(
     record_events: bool = False,
     sink=None,
     meta: dict | None = None,
+    vector: bool | None = None,
 ) -> tuple[dict[str, MethodResult], RunReport]:
     """Build every PAM on ``points``, run the §3 query files, report.
 
     Returns ``(results, report)`` where ``results`` is exactly what
     :func:`repro.core.comparison.run_pam_experiment` would produce and
     ``report`` adds per-operation histograms, timings and totals.
+    ``vector`` forces the stores' columnar caches on or off (``None``
+    defers to ``REPRO_VECTOR``); every reported access count is
+    identical either way.
     """
     return _traced_run(
         "pam",
@@ -100,6 +107,7 @@ def traced_pam_run(
         record_events=record_events,
         sink=sink,
         meta=meta,
+        vector=vector,
     )
 
 
@@ -113,6 +121,7 @@ def traced_sam_run(
     record_events: bool = False,
     sink=None,
     meta: dict | None = None,
+    vector: bool | None = None,
 ) -> tuple[dict[str, MethodResult], RunReport]:
     """Build every SAM on ``rects``, run the §7 query workload, report."""
     return _traced_run(
@@ -127,4 +136,5 @@ def traced_sam_run(
         record_events=record_events,
         sink=sink,
         meta=meta,
+        vector=vector,
     )

@@ -35,6 +35,8 @@ The ``ABL-BANG-MBR`` bench quantifies the §9 prediction.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.core.interfaces import PointAccessMethod
 from repro.geometry import blocks
 from repro.geometry.blocks import Bits
@@ -43,6 +45,7 @@ from repro.geometry.regioncover import is_covered
 from repro.storage import layout
 from repro.storage.page import PageKind
 from repro.storage.pagestore import PageStore
+from repro.query import scan
 
 __all__ = ["BangFile"]
 
@@ -518,54 +521,179 @@ class BangFile(PointAccessMethod):
         result: list[tuple[tuple[float, ...], object]] = []
         stack = [self._root_pid]
         while stack:
-            node: _DirNode = self.store.read(stack.pop())
+            pid = stack.pop()
+            node: _DirNode = self.store.read(pid)
             if node.is_leaf:
-                for entry in self._relevant_data_entries(node, rect):
+                for entry in self._relevant_data_entries(pid, node, rect):
                     page: _DataPage = self.store.read(entry.pid)
-                    for point, rid in page.records:
-                        if rect.contains_point(point):
-                            result.append((point, rid))
+                    result.extend(
+                        scan.match_records(self.store, entry.pid, page.records, rect)
+                    )
             else:
                 # Inner entries cannot be pruned by nesting: a data block
                 # shorter than a nested sibling may keep records inside
                 # the sibling's rectangle in a different subtree.  With
                 # minimal regions, an entry whose region misses the query
                 # can be pruned — the §9 improvement.
-                for entry in node.entries:
-                    if not blocks.block_rect(entry.bits, self.dims).intersects(rect):
-                        continue
-                    if self.minimal_regions and (
-                        entry.mbr is None or not entry.mbr.intersects(rect)
-                    ):
-                        continue
-                    stack.append(entry.pid)
+                idx = self._select_inner_entries(pid, node, rect)
+                if idx is None:
+                    for entry in node.entries:
+                        if not blocks.block_rect(entry.bits, self.dims).intersects(rect):
+                            continue
+                        if self.minimal_regions and (
+                            entry.mbr is None or not entry.mbr.intersects(rect)
+                        ):
+                            continue
+                        stack.append(entry.pid)
+                else:
+                    entries = node.entries
+                    for i in idx:
+                        stack.append(entries[i].pid)
         return result
 
-    def _relevant_data_entries(self, leaf: _DirNode, rect: Rect) -> list[_Entry]:
+    def _select_inner_entries(self, pid: int, node: "_DirNode", rect: Rect):
+        """Vectorized inner-entry pruning; ``None`` → scalar fallback.
+
+        The block rectangles always gate descent; with minimal regions an
+        entry additionally needs an MBR that meets the query (entries
+        without an MBR are represented as NaN rows, which never match).
+        """
+        entries = node.entries
+        idx = scan.select_boxes(
+            self.store, pid, "blocks", len(entries),
+            lambda: [blocks.block_rect(e.bits, self.dims) for e in entries],
+            "isect", rect,
+        )
+        if idx is None or not self.minimal_regions:
+            return idx
+
+        def mbr_bounds():
+            lo = np.full((len(entries), self.dims), np.nan)
+            hi = np.full((len(entries), self.dims), np.nan)
+            for i, entry in enumerate(entries):
+                if entry.mbr is not None:
+                    lo[i] = entry.mbr.lo
+                    hi[i] = entry.mbr.hi
+            return lo, hi
+
+        mbr_idx = scan.select_bounds(
+            self.store, pid, "mbrs", len(entries), mbr_bounds, "isect", rect
+        )
+        # Both index lists are ascending, so filtering one by membership in
+        # the other preserves the scalar visit order.
+        hits = set(mbr_idx)
+        return [i for i in idx if i in hits]
+
+    def _relevant_data_entries(
+        self, pid: int, leaf: _DirNode, rect: Rect
+    ) -> list[_Entry]:
         """Data entries to read: the block overlaps the query and the
         overlap is not entirely covered by sibling data blocks nested
         inside it (records in the covered part live on those pages)."""
+        entries = leaf.entries
+        if self.store.columnar is None:
+            out = []
+            for entry in entries:
+                if self.minimal_regions and (
+                    entry.mbr is None or not entry.mbr.intersects(rect)
+                ):
+                    continue
+                block = blocks.block_rect(entry.bits, self.dims)
+                overlap = block.intersection(rect)
+                if overlap is None:
+                    continue
+                nested = [
+                    blocks.block_rect(other.bits, self.dims)
+                    for other in entries
+                    if other is not entry
+                    and len(other.bits) > len(entry.bits)
+                    and blocks.is_prefix(entry.bits, other.bits)
+                ]
+                if nested and is_covered(overlap, nested):
+                    continue
+                out.append(entry)
+            return out
+        # Vectorized leaf scan: the block and MBR intersect gates run
+        # through the batched select helpers (same verdicts as the scalar
+        # gates above — ``Rect.intersection`` is None exactly when the
+        # closed boxes are disjoint), and the query-independent nesting
+        # structure of the leaf is cached per page (invalidated through
+        # the store's write/free hooks like every columnar array).
+        n = len(entries)
+        idx = scan.select_boxes(
+            self.store, pid, "blocks", n,
+            lambda: [blocks.block_rect(e.bits, self.dims) for e in entries],
+            "isect", rect,
+        )
+        if self.minimal_regions:
+
+            def mbr_bounds():
+                lo = np.full((n, self.dims), np.nan)
+                hi = np.full((n, self.dims), np.nan)
+                for i, entry in enumerate(entries):
+                    if entry.mbr is not None:
+                        lo[i] = entry.mbr.lo
+                        hi[i] = entry.mbr.hi
+                return lo, hi
+
+            mbr_idx = scan.select_bounds(
+                self.store, pid, "mbrs", n, mbr_bounds, "isect", rect
+            )
+            hits = set(mbr_idx)
+            idx = [i for i in idx if i in hits]
+        info = self._leaf_scan_info(pid, entries)
         out = []
-        for entry in leaf.entries:
-            if self.minimal_regions and (
-                entry.mbr is None or not entry.mbr.intersects(rect)
-            ):
-                continue
-            block = blocks.block_rect(entry.bits, self.dims)
-            overlap = block.intersection(rect)
-            if overlap is None:
-                continue
-            nested = [
-                blocks.block_rect(other.bits, self.dims)
-                for other in leaf.entries
-                if other is not entry
-                and len(other.bits) > len(entry.bits)
-                and blocks.is_prefix(entry.bits, other.bits)
-            ]
-            if nested and is_covered(overlap, nested):
-                continue
-            out.append(entry)
+        for i in idx:
+            slot = info[i]
+            nested = slot[1]
+            if nested:
+                block = slot[0]
+                overlap = block.intersection(rect)
+                if overlap == block:
+                    # The whole block falls inside the query: its coverage
+                    # by nested siblings is query-independent, so the
+                    # verdict is computed once per page and memoised.
+                    covered = slot[2]
+                    if covered is None:
+                        covered = slot[2] = is_covered(block, nested)
+                else:
+                    covered = is_covered(overlap, nested)
+                if covered:
+                    continue
+            out.append(entries[i])
         return out
+
+    def _leaf_scan_info(self, pid: int, entries) -> list:
+        """Per-entry ``[block rect, nested sibling blocks, coverage]`` of a
+        leaf, cached on the columnar cache (callers ensure it exists).
+
+        The nesting structure depends only on the page's entries, never on
+        the query, so one O(entries^2) pass serves every later query until
+        the page is written.  The third slot lazily memoises the
+        "full block covered by nested siblings" verdict.
+        """
+        pages = self.store.columnar._pages
+        page = pages.get(pid)
+        if page is None:
+            page = pages[pid] = {}
+        info = page.get("bang:nested")
+        if info is None or len(info) != len(entries):
+            dims = self.dims
+            rects_ = [blocks.block_rect(e.bits, dims) for e in entries]
+            info = []
+            for j, entry in enumerate(entries):
+                bits = entry.bits
+                depth = len(bits)
+                nested = [
+                    rects_[k]
+                    for k, other in enumerate(entries)
+                    if other is not entry
+                    and len(other.bits) > depth
+                    and blocks.is_prefix(bits, other.bits)
+                ]
+                info.append([rects_[j], nested, None])
+            page["bang:nested"] = info
+        return info
 
     def _exact_match(self, point: tuple[float, ...]) -> list[object]:
         pid = self._search_data_page(point, prune=True)

@@ -31,6 +31,7 @@ from repro.geometry.rect import Rect
 from repro.storage import layout
 from repro.storage.page import PageKind
 from repro.storage.pagestore import PageStore
+from repro.query import scan
 
 __all__ = ["BuddyTree"]
 
@@ -446,13 +447,21 @@ class BuddyTree(PointAccessMethod):
                     return
                 seen_data.add(pid)
                 page: _DataPage = self.store.read(pid)
-                for point, rid in page.records:
-                    if rect.contains_point(point):
-                        result.append((point, rid))
+                result.extend(scan.match_records(self.store, pid, page.records, rect))
                 return
             node: _DirNode = self.store.read(pid)
-            for entry in node.entries:
-                if entry.rect.intersects(rect):
+            entries = node.entries
+            idx = scan.select_boxes(
+                self.store, pid, "entries", len(entries),
+                lambda: [e.rect for e in entries], "isect", rect,
+            )
+            if idx is None:
+                for entry in entries:
+                    if entry.rect.intersects(rect):
+                        visit(entry.pid, entry.is_data)
+            else:
+                for i in idx:
+                    entry = entries[i]
                     visit(entry.pid, entry.is_data)
 
         visit(self._root_pid, self._root_is_data)

@@ -19,11 +19,15 @@ from __future__ import annotations
 import bisect
 from typing import Iterable
 
+import numpy as np
+
 from repro.core.interfaces import PointAccessMethod
+from repro.geometry import kernels
 from repro.geometry.rect import Rect
 from repro.storage import layout
 from repro.storage.page import PageKind
 from repro.storage.pagestore import PageStore
+from repro.query import scan
 
 __all__ = ["GridFile"]
 
@@ -52,6 +56,10 @@ class _GridLayer:
         self.cells: dict[tuple[int, ...], object] = {}
         #: Payload id -> (lo_idx, hi_idx) inclusive cell box.
         self.boxes: dict[object, tuple[list[int], list[int]]] = {}
+        # Columnar snapshot of the payload box rectangles, in boxes-dict
+        # order: (pids, lo, hi).  Dropped by every mutation that moves a
+        # box or a scale boundary; rebuilt lazily by payloads_in_rect.
+        self._bounds: tuple[list[object], np.ndarray, np.ndarray] | None = None
 
     # -- geometry ---------------------------------------------------------
 
@@ -92,6 +100,7 @@ class _GridLayer:
         """Assign the whole (so far unsplit) region to ``pid``."""
         if self.cells:
             raise ValueError("layer already populated")
+        self._bounds = None
         lo = [0] * self.dims
         hi = [self.ncells(a) - 1 for a in range(self.dims)]
         self.boxes[pid] = (lo, hi)
@@ -101,17 +110,41 @@ class _GridLayer:
         """Payload responsible for ``point``."""
         return self.cells[self.cell_of_point(point)]
 
-    def payloads_in_rect(self, rect: Rect) -> list[object]:
+    def payloads_in_rect(self, rect: Rect, vector: bool = False) -> list[object]:
         """Distinct payloads whose box intersects the closed ``rect``.
 
         Uses the per-payload boxes rather than enumerating cells, so the
-        cost is proportional to the number of payloads, not cells.
+        cost is proportional to the number of payloads, not cells.  With
+        ``vector=True`` (callers pass their store's columnar setting) the
+        box rectangles are tested in one NumPy call over a cached bounds
+        snapshot; payload order — and therefore the order data pages are
+        read in — is the boxes-dict order either way.
         """
+        if vector and len(self.boxes) > 1:
+            pids, lo, hi = self._box_bounds()
+            mask = kernels.boxes_intersect(
+                lo, hi, np.asarray(rect.lo, dtype=float), np.asarray(rect.hi, dtype=float)
+            )
+            return [pids[i] for i in np.nonzero(mask)[0]]
         result = []
         for pid in self.boxes:
             if self.box_rect(pid).intersects(rect):
                 result.append(pid)
         return result
+
+    def _box_bounds(self) -> tuple[list[object], np.ndarray, np.ndarray]:
+        """The cached ``(pids, lo, hi)`` snapshot of every payload box."""
+        if self._bounds is None:
+            pids = list(self.boxes)
+            lo = np.empty((len(pids), self.dims))
+            hi = np.empty((len(pids), self.dims))
+            for i, pid in enumerate(pids):
+                lo_idx, hi_idx = self.boxes[pid]
+                for a in range(self.dims):
+                    lo[i, a] = self.scales[a][lo_idx[a]]
+                    hi[i, a] = self.scales[a][hi_idx[a] + 1]
+            self._bounds = (pids, lo, hi)
+        return self._bounds
 
     def _fill_box(self, pid: object, lo: list[int], hi: list[int]) -> None:
         idx = list(lo)
@@ -143,6 +176,7 @@ class _GridLayer:
         if not scale[0] < value < scale[-1]:
             raise ValueError(f"boundary {value} outside region axis {axis}")
         scale.insert(pos, value)
+        self._bounds = None
         split_interval = pos - 1  # the old interval being halved
         new_cells: dict[tuple[int, ...], object] = {}
         for idx, pid in self.cells.items():
@@ -232,6 +266,7 @@ class _GridLayer:
         self, pid: object, new_pid: object, axis: int, boundary_index: int
     ) -> None:
         """Give the upper part of ``pid``'s box (from ``boundary_index``) to ``new_pid``."""
+        self._bounds = None
         lo, hi = self.boxes[pid]
         upper_lo = list(lo)
         upper_lo[axis] = boundary_index
@@ -270,6 +305,7 @@ class _GridLayer:
 
     def merge_payloads(self, keep: object, remove: object) -> None:
         """Fuse ``remove``'s box into ``keep``'s (must be buddies)."""
+        self._bounds = None
         klo, khi = self.boxes[keep]
         rlo, rhi = self.boxes.pop(remove)
         lo = [min(a, b) for a, b in zip(klo, rlo)]
@@ -403,11 +439,10 @@ class GridFile(PointAccessMethod):
         for dpid in touched_dir:
             self.store.read(dpid)
         result = []
-        for pid in self._layer.payloads_in_rect(rect):
+        vector = self.store.columnar is not None
+        for pid in self._layer.payloads_in_rect(rect, vector=vector):
             page: _DataPage = self.store.read(pid)
-            for point, rid in page.records:
-                if rect.contains_point(point):
-                    result.append((point, rid))
+            result.extend(scan.match_records(self.store, pid, page.records, rect))
         return result
 
     def _exact_match(self, point: tuple[float, ...]) -> list[object]:

@@ -39,6 +39,7 @@ from repro.geometry.rect import Rect
 from repro.storage import layout
 from repro.storage.page import PageKind
 from repro.storage.pagestore import PageStore
+from repro.query import scan
 
 __all__ = ["HBTree"]
 
@@ -554,9 +555,7 @@ class HBTree(PointAccessMethod):
             seen.add(pid)
             if is_data:
                 data: _DataNode = self.store.read(pid)
-                for point, rid in data.records:
-                    if rect.contains_point(point):
-                        result.append((point, rid))
+                result.extend(scan.match_records(self.store, pid, data.records, rect))
                 return
             node: _IndexNode = self.store.read(pid)
             children: list[tuple[int, bool]] = []

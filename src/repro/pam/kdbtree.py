@@ -22,6 +22,7 @@ from repro.geometry.rect import Rect
 from repro.storage import layout
 from repro.storage.page import PageKind
 from repro.storage.pagestore import PageStore
+from repro.query import scan
 
 __all__ = ["KdBTree"]
 
@@ -315,14 +316,20 @@ class KdBTree(PointAccessMethod):
             pid, is_leaf = stack.pop()
             if is_leaf:
                 page: _PointPage = self.store.read(pid)
-                for point, rid in page.records:
-                    if rect.contains_point(point):
-                        result.append((point, rid))
+                result.extend(scan.match_records(self.store, pid, page.records, rect))
                 continue
             node: _RegionPage = self.store.read(pid)
-            for region, child in zip(node.rects, node.pids):
-                if region.intersects(rect):
-                    stack.append((child, node.leaf_children))
+            idx = scan.select_boxes(
+                self.store, pid, "regions", len(node.rects),
+                lambda: node.rects, "isect", rect,
+            )
+            if idx is None:
+                for region, child in zip(node.rects, node.pids):
+                    if region.intersects(rect):
+                        stack.append((child, node.leaf_children))
+            else:
+                for i in idx:
+                    stack.append((node.pids[i], node.leaf_children))
         return result
 
     def _exact_match(self, point: tuple[float, ...]) -> list[object]:

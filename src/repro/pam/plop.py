@@ -26,6 +26,7 @@ from repro.geometry.rect import Rect
 from repro.storage import layout
 from repro.storage.page import PageKind
 from repro.storage.pagestore import PageStore
+from repro.query import scan
 
 __all__ = ["PlopHashing", "QuantileHashing"]
 
@@ -135,14 +136,23 @@ class _PlopGrid:
 
     def read_chain(self, idx: tuple[int, ...]) -> list[tuple]:
         """All records of one bucket, charging every page of the chain."""
+        records: list[tuple] = []
+        for _, page_records in self.iter_chain_pages(idx):
+            records.extend(page_records)
+        return records
+
+    def iter_chain_pages(self, idx: tuple[int, ...]):
+        """Yield ``(pid, records)`` per chain page, charging every read.
+
+        Page-granular variant of :meth:`read_chain` for the vectorized
+        scan helpers; reads the same pages in the same order.
+        """
         bucket = self.buckets.get(idx)
         if bucket is None:
-            return []
-        records: list[tuple] = []
+            return
         for pid in bucket.chain:
             page: _PlopPage = self.store.read(pid)
-            records.extend(page.records)
-        return records
+            yield pid, page.records
 
     def index_range(self, axis: int, lo: float, hi: float) -> range:
         """Slice indices of ``axis`` whose interval meets ``[lo, hi]``."""
@@ -256,9 +266,8 @@ class PlopHashing(PointAccessMethod):
         result = []
         idx = [r.start for r in ranges]
         while True:
-            for point, rid in self._grid.read_chain(tuple(idx)):
-                if rect.contains_point(point):
-                    result.append((point, rid))
+            for pid, records in self._grid.iter_chain_pages(tuple(idx)):
+                result.extend(scan.match_records(self.store, pid, records, rect))
             axis = 0
             while axis < self.dims:
                 idx[axis] += 1

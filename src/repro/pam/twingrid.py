@@ -25,6 +25,7 @@ from repro.pam.gridfile import _DataPage, _GridLayer
 from repro.storage import layout
 from repro.storage.page import PageKind
 from repro.storage.pagestore import PageStore
+from repro.query import scan
 
 __all__ = ["TwinGridFile"]
 
@@ -178,11 +179,11 @@ class TwinGridFile(PointAccessMethod):
                     break
             for dpid in touched:
                 self.store.read(dpid)
-            for pid in layer.payloads_in_rect(rect):
+            for pid in layer.payloads_in_rect(
+                rect, vector=self.store.columnar is not None
+            ):
                 page: _DataPage = self.store.read(pid)
-                for point, rid in page.records:
-                    if rect.contains_point(point):
-                        result.append((point, rid))
+                result.extend(scan.match_records(self.store, pid, page.records, rect))
         return result
 
     def _exact_match(self, point: tuple[float, ...]) -> list[object]:

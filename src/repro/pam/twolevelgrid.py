@@ -26,6 +26,7 @@ from repro.pam.gridfile import _DataPage, _GridLayer
 from repro.storage import layout
 from repro.storage.page import PageKind
 from repro.storage.pagestore import PageStore
+from repro.query import scan
 
 __all__ = ["TwoLevelGridFile"]
 
@@ -207,23 +208,24 @@ class TwoLevelGridFile(PointAccessMethod):
             hi[axis] -= boundary_index
             new_layer.boxes[pid] = (lo, hi)
             new_layer._fill_box(pid, lo, hi)
-        # Shrink the old layer.
+        # Shrink the old layer.  Boxes and scales were rewritten outside
+        # the layer's own mutators, so drop its bounds snapshot by hand.
         layer.region = lower_region
         layer.scales[axis] = layer.scales[axis][: boundary_index + 1]
         layer.cells = {
             idx: pid for idx, pid in layer.cells.items() if idx[axis] < boundary_index
         }
+        layer._bounds = None
         return new_layer
 
     def _range_query(self, rect: Rect) -> list[tuple[tuple[float, ...], object]]:
         result = []
-        for spid in self._root.payloads_in_rect(rect):
+        vector = self.store.columnar is not None
+        for spid in self._root.payloads_in_rect(rect, vector=vector):
             subgrid: _SubGrid = self.store.read(spid)
-            for dpid in subgrid.layer.payloads_in_rect(rect):
+            for dpid in subgrid.layer.payloads_in_rect(rect, vector=vector):
                 page: _DataPage = self.store.read(dpid)
-                for point, rid in page.records:
-                    if rect.contains_point(point):
-                        result.append((point, rid))
+                result.extend(scan.match_records(self.store, dpid, page.records, rect))
         return result
 
     def _exact_match(self, point: tuple[float, ...]) -> list[object]:

@@ -24,6 +24,7 @@ from repro.geometry.zorder import decompose_rect, z_interval, z_value
 from repro.storage import layout
 from repro.storage.page import PageKind
 from repro.storage.pagestore import PageStore
+from repro.query import scan
 
 __all__ = ["ZOrderBTree"]
 
@@ -170,17 +171,28 @@ class _BPlusTree:
             is_leaf = self.store.kind(pid) is PageKind.DATA
         return pid
 
-    def scan(self, lo, hi) -> Iterator[tuple]:
-        """Yield ``(key, value)`` pairs with ``lo <= key < hi``."""
+    def scan_pages(self, lo, hi) -> Iterator[tuple]:
+        """Yield ``(pid, leaf, start, stop)`` chunks with ``lo <= key < hi``.
+
+        Page-granular form of :meth:`scan` for the vectorized scan
+        helpers: the same leaves are read in the same order — the chain
+        walk stops at the first leaf holding a key ``>= hi`` (that leaf
+        is still read, exactly as the item-wise scan did).
+        """
         pid = self._leaf_for(lo)
         while pid is not None:
             leaf: _Leaf = self.store.read(pid)
             start = bisect.bisect_left(leaf.keys, lo)
-            for key, value in zip(leaf.keys[start:], leaf.values[start:]):
-                if key >= hi:
-                    return
-                yield key, value
+            stop = bisect.bisect_left(leaf.keys, hi, start)
+            yield pid, leaf, start, stop
+            if stop < len(leaf.keys):
+                return
             pid = leaf.next_pid
+
+    def scan(self, lo, hi) -> Iterator[tuple]:
+        """Yield ``(key, value)`` pairs with ``lo <= key < hi``."""
+        for _, leaf, start, stop in self.scan_pages(lo, hi):
+            yield from zip(leaf.keys[start:stop], leaf.values[start:stop])
 
     def lookup(self, key) -> list:
         """Values stored under exactly ``key``."""
@@ -245,9 +257,10 @@ class ZOrderBTree(PointAccessMethod):
         max_depth = min(self.dims * Z_BITS_PER_AXIS, 20)
         for bits in decompose_rect(rect, self.dims, self.query_regions, max_depth):
             lo, hi = z_interval(bits, self.dims, Z_BITS_PER_AXIS)
-            for _, (point, rid) in self._tree.scan(lo, hi):
-                if rect.contains_point(point):
-                    result.append((point, rid))
+            for pid, leaf, start, stop in self._tree.scan_pages(lo, hi):
+                result.extend(
+                    scan.match_records(self.store, pid, leaf.values, rect, start, stop)
+                )
         return result
 
     def _exact_match(self, point: tuple[float, ...]) -> list[object]:

@@ -1,0 +1,222 @@
+"""Columnar page caches and batched query workloads.
+
+A :class:`ColumnarCache` lives on a :class:`~repro.storage.pagestore.PageStore`
+(``store.columnar``) and lazily materialises, per page, the small NumPy
+arrays the vectorized scan helpers need — record coordinates for data pages,
+``(lo, hi)`` bounds for directory entries.  The store invalidates a page's
+arrays on every :meth:`~repro.storage.pagestore.PageStore.write` and
+:meth:`~repro.storage.pagestore.PageStore.free`, before any charging
+decision, so mutation paths can never observe stale arrays.
+
+A *workload* batches an entire query file: when the driver registers the
+file's query boxes up front, the scan helpers evaluate each hot (page,
+predicate) pair against **all** queries in one ``(Q, n)`` kernel call and
+then answer every later query that touches the same page from the cached
+per-query hit-index lists without touching NumPy again.  Queries
+issued outside a workload (or whose box does not match the registered one)
+fall back to single-query kernels, and stores without a cache run the
+original scalar loops — behaviour, not just results, is unchanged.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from repro.geometry.rect import Rect
+
+__all__ = ["ColumnarCache", "QueryWorkload", "vector_enabled"]
+
+_FALSY = ("0", "off", "no", "false")
+
+
+def vector_enabled() -> bool:
+    """Whether new stores get a columnar cache (``REPRO_VECTOR``, default on)."""
+    return os.environ.get("REPRO_VECTOR", "").lower() not in _FALSY
+
+
+#: Fused query-vector builders per op family (see repro.geometry.kernels):
+#: each maps the batch ``(qlo, qhi)`` corner matrices to the ``(Q, 2d)``
+#: matrix a fused page array is compared against with a single ``<=``.
+_QVEC_BUILDERS = {
+    "pts": lambda qlo, qhi: np.concatenate([-qlo, qhi], axis=1),
+    "isect": lambda qlo, qhi: np.concatenate([qhi, -qlo], axis=1),
+    "within": lambda qlo, qhi: np.concatenate([-qlo, qhi], axis=1),
+    "encl": lambda qlo, qhi: np.concatenate([qlo, -qhi], axis=1),
+}
+
+
+class QueryWorkload:
+    """A registered batch of query boxes, plus its per-page hit-index cache.
+
+    ``rects[i]`` may be ``None`` when query ``i`` cannot produce a box (the
+    transformation technique's center representation); its batch rows are
+    NaN and compare false everywhere, and the scan helpers are never asked
+    for them because the access method returns early.
+
+    Batch evaluation pays the whole batch's kernel work up front, which only
+    amortises on pages many queries revisit.  A page is therefore *promoted*
+    only once its visit count under one tag reaches :attr:`promote_visits`;
+    colder pages answer with a single-query fused row.  Promotion runs one
+    ``(Q, n)`` kernel call and keeps the mask; each query's ascending
+    hit-index list is then extracted lazily, at most once, and cached — so
+    revisits of a hot page (including revisits within *one* query, as the
+    z-ordered structures do when a query decomposes into several intervals)
+    are two dict lookups, no NumPy at all.
+    """
+
+    __slots__ = (
+        "rects",
+        "qlo",
+        "qhi",
+        "index",
+        "current",
+        "promote_visits",
+        "_qvecs",
+        "_rows",
+        "_visits",
+        "_cur",
+    )
+
+    def __init__(self, rects: Sequence["Rect | None"]):
+        self.rects = list(rects)
+        self.qlo: "np.ndarray | None" = None
+        self.qhi: "np.ndarray | None" = None
+        dims = next((r.dims for r in self.rects if r is not None), 0)
+        if self.rects and dims:
+            qlo = np.full((len(self.rects), dims), np.nan)
+            qhi = np.full((len(self.rects), dims), np.nan)
+            for i, rect in enumerate(self.rects):
+                if rect is not None:
+                    qlo[i] = rect.lo
+                    qhi[i] = rect.hi
+            self.qlo = qlo
+            self.qhi = qhi
+        #: Index of the query currently being executed (set by the driver).
+        self.index = -1
+        self.current: "Rect | None" = None
+        #: Visits of one (pid, tag) before the batch is evaluated; scales
+        #: with batch size because the batch kernel costs roughly ``Q / 10``
+        #: single-query evaluations, so promotion only pays on pages a
+        #: sizeable fraction of the batch revisits.
+        self.promote_visits = max(4, len(self.rects) // 8)
+        # op -> (Q, 2d) fused query matrix (built lazily per op family).
+        self._qvecs: dict[str, np.ndarray] = {}
+        # (pid, tag) -> (batch mask, {query index -> hit-index list}).
+        self._rows: dict[tuple[int, str], tuple] = {}
+        # (pid, tag) -> visits answered without a batch evaluation.
+        self._visits: dict[tuple[int, str], int] = {}
+        # (pid, tag) -> hit row of the *current* query only, for structures
+        # that revisit one page several times within a single query (the
+        # z-ordered methods scan one leaf per z-interval).  Cleared on
+        # every set_query.
+        self._cur: dict[tuple[int, str], list] = {}
+
+    def set_query(self, index: int) -> None:
+        """Mark query ``index`` as the one currently executing."""
+        self.index = index
+        self.current = self.rects[index]
+        self._cur.clear()
+
+    def matches(self, rect: Rect) -> bool:
+        """Whether ``rect`` is the registered box of the current query."""
+        cur = self.current
+        return cur is not None and (cur is rect or cur == rect)
+
+    def qvecs(self, op: str) -> np.ndarray:
+        """The ``(Q, 2d)`` fused query matrix for ``op``, built on demand."""
+        qv = self._qvecs.get(op)
+        if qv is None:
+            qv = self._qvecs[op] = _QVEC_BUILDERS[op](self.qlo, self.qhi)
+        return qv
+
+    def index_row(self, pid: int, tag: str, op: str, fused: "np.ndarray") -> list:
+        """Ascending hit indices of page ``pid`` for the current query.
+
+        Answers from the cached per-query index lists when the page is hot,
+        from a single-query fused row otherwise (see class docstring).
+        Callers must treat the returned list as read-only — hot pages hand
+        out the cached list itself.
+        """
+        key = (pid, tag)
+        entry = self._rows.get(key)
+        if entry is None:
+            row = self._cur.get(key)
+            if row is not None:
+                return row
+            visits = self._visits.get(key, 0) + 1
+            if visits < self.promote_visits:
+                self._visits[key] = visits
+                flags = (fused <= self.qvecs(op)[self.index]).all(axis=1).tolist()
+                row = self._cur[key] = [i for i, hit in enumerate(flags) if hit]
+                return row
+            qvecs = self.qvecs(op)
+            mask = (fused[None, :, :] <= qvecs[:, None, :]).all(axis=2)
+            entry = self._rows[key] = (mask, {})
+        rows = entry[1]
+        row = rows.get(self.index)
+        if row is None:
+            flags = entry[0][self.index].tolist()
+            row = rows[self.index] = [i for i, hit in enumerate(flags) if hit]
+        return row
+
+    def invalidate(self, pid: int) -> None:
+        """Drop every cached hit row (and visit count) for page ``pid``."""
+        for key in [k for k in self._rows if k[0] == pid]:
+            del self._rows[key]
+        for key in [k for k in self._visits if k[0] == pid]:
+            del self._visits[key]
+        for key in [k for k in self._cur if k[0] == pid]:
+            del self._cur[key]
+
+
+class ColumnarCache:
+    """Per-store cache of columnar page arrays (and the active workload)."""
+
+    __slots__ = ("_pages", "workload")
+
+    def __init__(self) -> None:
+        # pid -> {tag: arrays}; tags distinguish the different array views
+        # one page can have (e.g. a BANG entry page caches both block and
+        # MBR bounds under separate tags).
+        self._pages: dict[int, dict[str, Any]] = {}
+        self.workload: "QueryWorkload | None" = None
+
+    # -- arrays ----------------------------------------------------------
+
+    def arrays(self, pid: int, tag: str, build: Callable[[], Any]) -> Any:
+        """The cached arrays for ``(pid, tag)``, building them on a miss."""
+        page = self._pages.get(pid)
+        if page is None:
+            page = self._pages[pid] = {}
+        arrays = page.get(tag)
+        if arrays is None:
+            arrays = page[tag] = build()
+        return arrays
+
+    def invalidate(self, pid: int) -> None:
+        """Drop page ``pid``'s arrays and any batch masks built from them."""
+        self._pages.pop(pid, None)
+        if self.workload is not None:
+            self.workload.invalidate(pid)
+
+    def clear(self) -> None:
+        """Drop everything (arrays, hit rows and visit counts)."""
+        self._pages.clear()
+        if self.workload is not None:
+            self.workload._rows.clear()
+            self.workload._visits.clear()
+            self.workload._cur.clear()
+
+    # -- workloads -------------------------------------------------------
+
+    def begin_workload(self, rects: Sequence["Rect | None"]) -> QueryWorkload:
+        """Register a query file's boxes for batched evaluation."""
+        self.workload = QueryWorkload(rects)
+        return self.workload
+
+    def end_workload(self) -> None:
+        """Deregister the batch; helpers fall back to single-query kernels."""
+        self.workload = None

@@ -1,0 +1,58 @@
+"""The batched query driver: run one query file in a single pass.
+
+The driver is the third tier of the vectorized execution story
+(:mod:`repro.query.scan`): it registers a whole query file as a batched
+workload on the method's columnar cache, marks the current query index
+before each call, and runs every query under the usual per-operation
+disk-access measurement.  A page visited by many queries of the file is
+then evaluated against *all* of them in one ``(Q, n)`` kernel call, and
+each later query reuses its cached mask row.
+
+Registration is an evaluation hint only: the queries still execute one
+at a time through the method's public API, so the pages touched and the
+per-query disk-access statistics are bit-identical to the scalar path.
+The driver is duck-typed — any object with ``store``,
+``register_query_workload`` and ``end_query_workload`` works — so it can
+be used without importing the core experiment machinery.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence
+
+__all__ = ["run_query_file"]
+
+
+def _measure(store, operation: Callable[[], Any]) -> tuple[int, Any]:
+    """Run one operation and return ``(disk accesses, result)``."""
+    before = store.stats.total
+    result = operation()
+    return store.stats.total - before, result
+
+
+def run_query_file(
+    method,
+    kind: str,
+    queries: Sequence,
+    operation: Callable[[Any], Any],
+) -> list[tuple[int, Any]]:
+    """Execute every query of one file, returning ``[(cost, result), ...]``.
+
+    ``kind`` is the query-type tag understood by the method's
+    ``_workload_rects`` (``range``, ``pm``, ``point``, ``intersection``,
+    ``containment``, ``enclosure``); ``operation(query)`` must run exactly
+    one public query of ``method``.  Without a columnar cache
+    (``REPRO_VECTOR=0``) this degenerates to the plain per-query loop.
+    """
+    method.register_query_workload(kind, queries)
+    cache = method.store.columnar
+    workload = cache.workload if cache is not None else None
+    out: list[tuple[int, Any]] = []
+    try:
+        for index, query in enumerate(queries):
+            if workload is not None:
+                workload.set_query(index)
+            out.append(_measure(method.store, lambda q=query: operation(q)))
+    finally:
+        method.end_query_workload()
+    return out

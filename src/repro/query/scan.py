@@ -1,0 +1,266 @@
+"""In-page scan helpers shared by every access method.
+
+Each helper replaces one scalar filtering loop inside an already-visited
+page.  Three tiers, chosen per call:
+
+1. **No columnar cache** (``store.columnar is None``, the ``REPRO_VECTOR=0``
+   kill switch) — run the original scalar loop, byte-for-byte the old code.
+2. **Single query** — evaluate the page's cached fused array against this
+   one query with a single comparison kernel
+   (see :mod:`repro.geometry.kernels`).
+3. **Batched workload** — the query box matches the one the driver
+   registered, so the page answers from the workload's per-query hit-index
+   cache, which evaluates the page against *all* queries of the batch in
+   one ``(Q, n)`` kernel call once the page proves hot (see
+   :class:`repro.query.columnar.QueryWorkload`).
+
+All tiers agree exactly (tests/test_query_kernels.py), and none of them
+touches the page store, so disk-access statistics cannot change.  Helpers
+return selected indices as ascending Python lists — callers iterating them
+preserve the scalar visit order, and for 512-byte pages (tens of rows)
+list extraction beats ``np.nonzero`` by several microseconds per page.
+
+The bodies below are deliberately flat: cache probes, the workload match
+test and the fused comparison are inlined rather than layered behind
+helper calls, because at ~20 records per page each Python frame and
+closure allocation is a measurable fraction of a page visit.  Index lists
+returned from the workload cache are shared — callers must not mutate
+them.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.geometry.rect import Rect
+
+__all__ = [
+    "match_records",
+    "select_bounds",
+    "select_boxes",
+    "select_rect_values",
+    "match_rects",
+]
+
+#: op tag -> fused page-array family: intersection and enclosure share the
+#: ``[lo, -hi]`` encoding, containment needs ``[-lo, hi]``.
+_FAMILY = {"isect": "cover", "encl": "cover", "within": "anti"}
+
+_EMPTY_IDX: list = []
+
+
+def _qvec_single(op: str, query: Rect) -> np.ndarray:
+    """The fused ``(2d,)`` query vector of one box for ``op``.
+
+    Pure sign flips of the query corners — exact in IEEE-754, so a fused
+    comparison is bit-identical to the pairwise predicate (see
+    :mod:`repro.geometry.kernels`).
+    """
+    if op == "isect":
+        vals = query.hi + tuple(-c for c in query.lo)
+    elif op == "within":
+        vals = tuple(-c for c in query.lo) + query.hi
+    else:  # "encl"
+        vals = query.lo + tuple(-c for c in query.hi)
+    return np.array(vals)
+
+
+def match_records(
+    store,
+    pid: int,
+    records: Sequence[tuple[tuple[float, ...], Any]],
+    rect: Rect,
+    start: int = 0,
+    stop: "int | None" = None,
+) -> list:
+    """Records of a data page whose point lies inside ``rect``.
+
+    ``records`` is the page's ``(point, rid)`` list; ``start``/``stop``
+    restrict the scan to a slice (B+-tree leaves scan key ranges).
+    """
+    n = len(records)
+    if stop is None:
+        stop = n
+    cache = store.columnar
+    if cache is None or n == 0:
+        return [rec for rec in records[start:stop] if rect.contains_point(rec[0])]
+    pages = cache._pages
+    page = pages.get(pid)
+    if page is None:
+        page = pages[pid] = {}
+    fused = page.get("pts")
+    if fused is not None and fused.shape[0] != n:
+        # Defensive: every mutation path issues store.write(pid) (which
+        # invalidates), so drift means a page was rebound without a write;
+        # rebuilding keeps the vector path correct even then.
+        cache.invalidate(pid)
+        page = pages[pid] = {}
+        fused = None
+    if fused is None:
+        pts = np.array([rec[0] for rec in records])
+        fused = page["pts"] = np.concatenate([-pts, pts], axis=1)
+    workload = cache.workload
+    if workload is not None:
+        cur = workload.current
+        if cur is not None and (cur is rect or cur == rect):
+            idx = workload.index_row(pid, "pts", "pts", fused)
+            if start or stop != n:
+                return [records[i] for i in idx if start <= i < stop]
+            return [records[i] for i in idx]
+    qvec = np.array(tuple(-c for c in rect.lo) + rect.hi)
+    flags = (fused <= qvec).all(axis=1).tolist()
+    if start or stop != n:
+        return [rec for rec, hit in zip(records[start:stop], flags[start:stop]) if hit]
+    return [rec for rec, hit in zip(records, flags) if hit]
+
+
+def select_bounds(
+    store,
+    pid: int,
+    tag: str,
+    count: int,
+    bounds_fn,
+    op: str,
+    query: Rect,
+) -> "list | None":
+    """Indices of a page's boxes satisfying ``op`` against ``query``.
+
+    ``bounds_fn`` materialises the page's ``(lo, hi)`` bound arrays only on
+    a cache miss; rows may be NaN to mark entries that can never match
+    (NaN compares false in every kernel).  Returns ``None`` when the store
+    has no columnar cache — the caller must then run its original scalar
+    loop.  Indices are an ascending list, so callers iterating them
+    preserve the scalar visit order exactly.
+    """
+    cache = store.columnar
+    if cache is None:
+        return None
+    if count == 0:
+        return _EMPTY_IDX
+    family = _FAMILY[op]
+    pages = cache._pages
+    page = pages.get(pid)
+    if page is None:
+        page = pages[pid] = {}
+    ptag = tag + ":" + family
+    fused = page.get(ptag)
+    if fused is not None and fused.shape[0] != count:
+        cache.invalidate(pid)
+        page = pages[pid] = {}
+        fused = None
+    if fused is None:
+        lo, hi = bounds_fn()
+        if family == "cover":
+            fused = np.concatenate([lo, -hi], axis=1)
+        else:
+            fused = np.concatenate([-lo, hi], axis=1)
+        page[ptag] = fused
+    workload = cache.workload
+    if workload is not None:
+        cur = workload.current
+        if cur is not None and (cur is query or cur == query):
+            return workload.index_row(pid, tag + ":" + op, op, fused)
+    flags = (fused <= _qvec_single(op, query)).all(axis=1).tolist()
+    return [i for i, hit in enumerate(flags) if hit]
+
+
+def select_boxes(
+    store,
+    pid: int,
+    tag: str,
+    count: int,
+    rects_fn,
+    op: str,
+    query: Rect,
+) -> "list | None":
+    """:func:`select_bounds` over a page holding a list of :class:`Rect`."""
+
+    def build():
+        rects = rects_fn()
+        lo = np.array([r.lo for r in rects])
+        hi = np.array([r.hi for r in rects])
+        return lo, hi
+
+    return select_bounds(store, pid, tag, count, build, op, query)
+
+
+def select_rect_values(
+    store,
+    pid: int,
+    values: Sequence[tuple[Rect, Any]],
+    op: str,
+    query: Rect,
+    start: int = 0,
+    stop: "int | None" = None,
+) -> "list | None":
+    """Indices into ``values`` (a ``(rect, rid)`` list) matching ``op``.
+
+    Slice-aware like :func:`match_records`; returns absolute indices, or
+    ``None`` for the scalar fallback.
+    """
+    cache = store.columnar
+    if cache is None:
+        return None
+    n = len(values)
+    if stop is None:
+        stop = n
+    if n == 0:
+        return _EMPTY_IDX
+    family = _FAMILY[op]
+    pages = cache._pages
+    page = pages.get(pid)
+    if page is None:
+        page = pages[pid] = {}
+    ptag = "vrects:" + family
+    fused = page.get(ptag)
+    if fused is not None and fused.shape[0] != n:
+        cache.invalidate(pid)
+        page = pages[pid] = {}
+        fused = None
+    if fused is None:
+        lo = np.array([v[0].lo for v in values])
+        hi = np.array([v[0].hi for v in values])
+        if family == "cover":
+            fused = np.concatenate([lo, -hi], axis=1)
+        else:
+            fused = np.concatenate([-lo, hi], axis=1)
+        page[ptag] = fused
+    workload = cache.workload
+    if workload is not None:
+        cur = workload.current
+        if cur is not None and (cur is query or cur == query):
+            idx = workload.index_row(pid, "vrects:" + op, op, fused)
+            if start or stop != n:
+                return [i for i in idx if start <= i < stop]
+            return idx
+    flags = (fused <= _qvec_single(op, query)).all(axis=1).tolist()
+    return [i for i in range(start, stop) if flags[i]]
+
+
+def match_rects(
+    store,
+    pid: int,
+    values: Sequence[tuple[Rect, Any]],
+    op: str,
+    query: Rect,
+) -> list:
+    """The ``(rect, rid)`` pairs of a page matching ``op`` against ``query``.
+
+    Convenience wrapper over :func:`select_rect_values` with an internal
+    scalar fallback, for pages without extra per-hit bookkeeping.
+    """
+    idx = select_rect_values(store, pid, values, op, query)
+    if idx is None:
+        pred = _SCALAR_OPS[op]
+        return [v for v in values if pred(v[0], query)]
+    return [values[i] for i in idx]
+
+
+#: Scalar oracles matching the fused kernels (stored box first, query second).
+_SCALAR_OPS = {
+    "isect": lambda r, q: r.intersects(q),
+    "within": lambda r, q: q.contains_rect(r),
+    "encl": lambda r, q: r.contains_rect(q),
+}

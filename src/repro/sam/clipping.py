@@ -25,6 +25,7 @@ from repro.geometry.zorder import decompose_rect, z_interval
 from repro.pam.zbtree import _BPlusTree
 from repro.storage import layout
 from repro.storage.pagestore import PageStore
+from repro.query import scan
 
 __all__ = ["ClippingSAM"]
 
@@ -109,22 +110,44 @@ class ClippingSAM(SpatialAccessMethod):
             self._tree.insert(self._key(bits), (rect, rid))
             self._region_entries += 1
 
-    def _query(self, query: Rect, predicate) -> list[object]:
+    #: Scalar fallbacks for the op tags of scan.select_rect_values.
+    _SCALAR_PRED = {
+        "isect": lambda r, q: r.intersects(q),
+        "within": lambda r, q: q.contains_rect(r),
+        "encl": lambda r, q: r.contains_rect(q),
+    }
+
+    def _query(self, query: Rect, op: str) -> list[object]:
         """Scan the query's z-regions and probe their ancestors."""
         query_regions = decompose_rect(query, self.dims, 8, _MAX_DEPTH)
         seen: set[int] = set()
         result: list[object] = []
+        predicate = self._SCALAR_PRED[op]
 
         def offer(rect: Rect, rid: object) -> None:
-            if rid not in seen and predicate(rect):
+            if rid not in seen and predicate(rect, query):
                 seen.add(rid)
                 result.append(rid)
 
         probed: set[Bits] = set()
         for bits in query_regions:
             lo, hi = z_interval(bits, self.dims, _Z_BITS)
-            for _, (rect, rid) in self._tree.scan((lo, 0), (hi, 0)):
-                offer(rect, rid)
+            for pid, leaf, start, stop in self._tree.scan_pages((lo, 0), (hi, 0)):
+                idx = scan.select_rect_values(
+                    self.store, pid, leaf.values, op, query, start, stop
+                )
+                if idx is None:
+                    for rect, rid in leaf.values[start:stop]:
+                        offer(rect, rid)
+                else:
+                    # The kernel already applied the predicate; only the
+                    # first-seen dedup remains.
+                    values = leaf.values
+                    for i in idx:
+                        rid = values[i][1]
+                        if rid not in seen:
+                            seen.add(rid)
+                            result.append(rid)
             # Ancestor blocks start before `lo`; probe each exactly once.
             for depth in range(len(bits)):
                 ancestor = bits[:depth]
@@ -136,15 +159,14 @@ class ClippingSAM(SpatialAccessMethod):
         return result
 
     def _point_query(self, point: tuple[float, ...]) -> list[object]:
-        return self._query(
-            Rect.from_point(point), lambda r: r.contains_point(point)
-        )
+        # contains_point(p) == contains_rect(degenerate box at p), exactly.
+        return self._query(Rect.from_point(point), "encl")
 
     def _intersection(self, query: Rect) -> list[object]:
-        return self._query(query, lambda r: r.intersects(query))
+        return self._query(query, "isect")
 
     def _containment(self, query: Rect) -> list[object]:
-        return self._query(query, lambda r: query.contains_rect(r))
+        return self._query(query, "within")
 
     def _enclosure(self, query: Rect) -> list[object]:
-        return self._query(query, lambda r: r.contains_rect(query))
+        return self._query(query, "encl")

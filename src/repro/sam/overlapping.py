@@ -22,6 +22,7 @@ from repro.geometry.rect import Rect
 from repro.pam.plop import _PlopGrid
 from repro.storage import layout
 from repro.storage.pagestore import PageStore
+from repro.query import scan
 
 __all__ = ["OverlappingPlop"]
 
@@ -62,7 +63,14 @@ class OverlappingPlop(SpatialAccessMethod):
             )
         self._grid.insert((rect, rid))
 
-    def _scan_window(self, lo, hi, rect_pred) -> list[object]:
+    #: Scalar fallbacks for the op tags of scan.select_rect_values.
+    _SCALAR_PRED = {
+        "isect": lambda r, q: r.intersects(q),
+        "within": lambda r, q: q.contains_rect(r),
+        "encl": lambda r, q: r.contains_rect(q),
+    }
+
+    def _scan_window(self, lo, hi, op: str, query: Rect) -> list[object]:
         """Read every bucket whose cell meets ``[lo, hi]`` and filter."""
         if any(l > h for l, h in zip(lo, hi)):
             return []
@@ -72,12 +80,18 @@ class OverlappingPlop(SpatialAccessMethod):
         ]
         if any(r.start >= r.stop for r in ranges):
             return []
+        predicate = self._SCALAR_PRED[op]
         result = []
         idx = [r.start for r in ranges]
         while True:
-            for rect, rid in self._grid.read_chain(tuple(idx)):
-                if rect_pred(rect):
-                    result.append(rid)
+            for pid, records in self._grid.iter_chain_pages(tuple(idx)):
+                sel = scan.select_rect_values(self.store, pid, records, op, query)
+                if sel is None:
+                    for rect, rid in records:
+                        if predicate(rect, query):
+                            result.append(rid)
+                else:
+                    result.extend(records[i][1] for i in sel)
             axis = 0
             while axis < self.dims:
                 idx[axis] += 1
@@ -94,23 +108,25 @@ class OverlappingPlop(SpatialAccessMethod):
         return lo, hi
 
     def _point_query(self, point: tuple[float, ...]) -> list[object]:
-        lo, hi = self._expanded(Rect.from_point(point))
-        return self._scan_window(lo, hi, lambda r: r.contains_point(point))
+        # contains_point(p) == contains_rect(degenerate box at p), exactly.
+        query = Rect.from_point(point)
+        lo, hi = self._expanded(query)
+        return self._scan_window(lo, hi, "encl", query)
 
     def _intersection(self, query: Rect) -> list[object]:
         lo, hi = self._expanded(query)
-        return self._scan_window(lo, hi, lambda r: r.intersects(query))
+        return self._scan_window(lo, hi, "isect", query)
 
     def _containment(self, query: Rect) -> list[object]:
         # The same candidate window as intersection — the reason the
         # paper's PLOP rows show identical intersection and containment
         # costs.
         lo, hi = self._expanded(query)
-        return self._scan_window(lo, hi, lambda r: query.contains_rect(r))
+        return self._scan_window(lo, hi, "within", query)
 
     def _enclosure(self, query: Rect) -> list[object]:
         # An enclosing rectangle's center must lie within max-extension
         # reach of every side of the query.
         lo = [query.hi[a] - self._max_extent[a] for a in range(self.dims)]
         hi = [query.lo[a] + self._max_extent[a] for a in range(self.dims)]
-        return self._scan_window(lo, hi, lambda r: r.contains_rect(query))
+        return self._scan_window(lo, hi, "encl", query)

@@ -22,6 +22,7 @@ from repro.geometry.rect import Rect
 from repro.storage import layout
 from repro.storage.page import PageKind
 from repro.storage.pagestore import PageStore
+from repro.query import scan
 
 __all__ = ["RPlusTree"]
 
@@ -328,7 +329,14 @@ class RPlusTree(SpatialAccessMethod):
 
     # -- queries ------------------------------------------------------------------------
 
-    def _collect(self, region_pred, entry_pred) -> list[object]:
+    #: Scalar fallbacks for the op tags of scan.select_boxes.
+    _SCALAR_PRED = {
+        "isect": lambda r, q: r.intersects(q),
+        "within": lambda r, q: q.contains_rect(r),
+        "encl": lambda r, q: r.contains_rect(q),
+    }
+
+    def _collect(self, region_op: str, entry_op: str, query: Rect) -> list[object]:
         result: list[object] = []
         seen: set[object] = set()
         stack = [(self._root_pid, self._root_is_leaf)]
@@ -336,37 +344,51 @@ class RPlusTree(SpatialAccessMethod):
             pid, is_leaf = stack.pop()
             if is_leaf:
                 leaf: _Leaf = self.store.read(pid)
-                for rect, rid in zip(leaf.rects, leaf.rids):
-                    if rid not in seen and entry_pred(rect):
-                        seen.add(rid)
-                        result.append(rid)
+                idx = scan.select_boxes(
+                    self.store, pid, "entries", len(leaf.rects),
+                    lambda: leaf.rects, entry_op, query,
+                )
+                if idx is None:
+                    pred = self._SCALAR_PRED[entry_op]
+                    for rect, rid in zip(leaf.rects, leaf.rids):
+                        if rid not in seen and pred(rect, query):
+                            seen.add(rid)
+                            result.append(rid)
+                else:
+                    # Clipped entries recur under several leaves; keeping
+                    # the first-seen order matches the scalar dedup.
+                    rids = leaf.rids
+                    for i in idx:
+                        rid = rids[i]
+                        if rid not in seen:
+                            seen.add(rid)
+                            result.append(rid)
                 continue
             node: _Inner = self.store.read(pid)
-            for region, child in zip(node.regions, node.pids):
-                if region_pred(region):
-                    stack.append((child, node.leaf_children))
+            idx = scan.select_boxes(
+                self.store, pid, "regions", len(node.regions),
+                lambda: node.regions, region_op, query,
+            )
+            if idx is None:
+                pred = self._SCALAR_PRED[region_op]
+                for region, child in zip(node.regions, node.pids):
+                    if pred(region, query):
+                        stack.append((child, node.leaf_children))
+            else:
+                pids = node.pids
+                for i in idx:
+                    stack.append((pids[i], node.leaf_children))
         return result
 
     def _point_query(self, point: tuple[float, ...]) -> list[object]:
-        return self._collect(
-            lambda region: region.contains_point(point),
-            lambda rect: rect.contains_point(point),
-        )
+        # contains_point(p) == contains_rect(degenerate box at p), exactly.
+        return self._collect("encl", "encl", Rect.from_point(point))
 
     def _intersection(self, query: Rect) -> list[object]:
-        return self._collect(
-            lambda region: region.intersects(query),
-            lambda rect: rect.intersects(query),
-        )
+        return self._collect("isect", "isect", query)
 
     def _containment(self, query: Rect) -> list[object]:
-        return self._collect(
-            lambda region: region.intersects(query),
-            lambda rect: query.contains_rect(rect),
-        )
+        return self._collect("isect", "within", query)
 
     def _enclosure(self, query: Rect) -> list[object]:
-        return self._collect(
-            lambda region: region.intersects(query),
-            lambda rect: rect.contains_rect(query),
-        )
+        return self._collect("isect", "encl", query)

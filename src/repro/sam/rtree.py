@@ -22,6 +22,7 @@ from repro.geometry.rect import Rect
 from repro.storage import layout
 from repro.storage.page import PageKind
 from repro.storage.pagestore import PageStore
+from repro.query import scan
 
 __all__ = ["RTree"]
 
@@ -246,47 +247,52 @@ class RTree(SpatialAccessMethod):
 
     # -- queries ---------------------------------------------------------------------
 
-    def _collect(self, predicate_inner, predicate_leaf) -> list[object]:
+    #: Scalar fallbacks for the op tags of scan.select_boxes.
+    _SCALAR_PRED = {
+        "isect": lambda r, q: r.intersects(q),
+        "within": lambda r, q: q.contains_rect(r),
+        "encl": lambda r, q: r.contains_rect(q),
+    }
+
+    def _collect(self, inner_op: str, leaf_op: str, query: Rect) -> list[object]:
         result: list[object] = []
         stack = [self._root_pid]
         while stack:
-            node: _Node = self.store.read(stack.pop())
-            if node.is_leaf:
-                result.extend(
-                    rid
-                    for rect, rid in zip(node.rects, node.children)
-                    if predicate_leaf(rect)
+            pid = stack.pop()
+            node: _Node = self.store.read(pid)
+            op = leaf_op if node.is_leaf else inner_op
+            idx = scan.select_boxes(
+                self.store, pid, "entries", len(node.rects),
+                lambda: node.rects, op, query,
+            )
+            out = result if node.is_leaf else stack
+            if idx is None:
+                pred = self._SCALAR_PRED[op]
+                out.extend(
+                    child
+                    for rect, child in zip(node.rects, node.children)
+                    if pred(rect, query)
                 )
             else:
-                stack.extend(
-                    pid
-                    for rect, pid in zip(node.rects, node.children)
-                    if predicate_inner(rect)
-                )
+                children = node.children
+                out.extend(children[i] for i in idx)
         return result
 
     def _point_query(self, point: tuple[float, ...]) -> list[object]:
-        return self._collect(
-            lambda r: r.contains_point(point), lambda r: r.contains_point(point)
-        )
+        # contains_point(p) == contains_rect(degenerate box at p), exactly.
+        return self._collect("encl", "encl", Rect.from_point(point))
 
     def _intersection(self, query: Rect) -> list[object]:
-        return self._collect(
-            lambda r: r.intersects(query), lambda r: r.intersects(query)
-        )
+        return self._collect("isect", "isect", query)
 
     def _containment(self, query: Rect) -> list[object]:
-        # A rectangle contained in the query intersects it, and no
-        # stronger pruning is possible on inner levels: this is why the
-        # paper's R-tree containment costs equal its intersection costs.
-        return self._collect(
-            lambda r: r.intersects(query), lambda r: query.contains_rect(r)
-        )
+        # Contained rectangles intersect the query, and no stronger
+        # pruning is possible on inner levels: this is why the paper's
+        # R-tree containment costs equal its intersection costs.
+        return self._collect("isect", "within", query)
 
     def _enclosure(self, query: Rect) -> list[object]:
-        return self._collect(
-            lambda r: r.contains_rect(query), lambda r: r.contains_rect(query)
-        )
+        return self._collect("encl", "encl", query)
 
     # -- deletion (extension) -----------------------------------------------------------
 

@@ -23,10 +23,13 @@ The paper runs this technique over BANG and BUDDY; any
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import Callable, Sequence
+
+import numpy as np
 
 from repro.core.interfaces import PointAccessMethod, SpatialAccessMethod
 from repro.core.stats import BuildMetrics
+from repro.geometry import kernels
 from repro.geometry.rect import Rect
 from repro.storage.pagestore import PageStore
 
@@ -142,15 +145,48 @@ class TransformationSAM(SpatialAccessMethod):
             return list(self._max_extent)
         return [0.5] * self.dims
 
-    def _transformed_query(self, query_box: Rect | None, predicate) -> list[object]:
-        """Run one 2d-dim range query, post-filtering with ``predicate``."""
+    #: Scalar post-filters and their vectorized counterparts, by op tag.
+    _SCALAR_PRED = {
+        "isect": lambda r, q: r.intersects(q),
+        "within": lambda r, q: q.contains_rect(r),
+        "encl": lambda r, q: r.contains_rect(q),
+    }
+    _KERNELS = {
+        "isect": kernels.boxes_intersect,
+        "within": kernels.boxes_within,
+        "encl": kernels.boxes_enclose,
+    }
+
+    def _transformed_query(self, query_box: Rect | None, op: str, query: Rect) -> list[object]:
+        """Run one 2d-dim range query, post-filtering with the ``op`` predicate."""
         if query_box is None:
             return []
-        return [
-            rid
-            for point, rid in self.pam._range_query(query_box)
-            if predicate(self._to_rect(point))
-        ]
+        candidates = self.pam._range_query(query_box)
+        if self.store.columnar is None or len(candidates) < 2:
+            predicate = self._SCALAR_PRED[op]
+            return [
+                rid
+                for point, rid in candidates
+                if predicate(self._to_rect(point), query)
+            ]
+        # Vectorized post-filter: undo the transform on the whole candidate
+        # set at once.  The center-representation arithmetic (c - e, c + e)
+        # is the same float64 operation as _to_rect, so verdicts are
+        # bit-identical to the scalar path.
+        d = self.dims
+        pts = np.array([point for point, _ in candidates], dtype=float)
+        if self.representation == "corner":
+            lo, hi = pts[:, :d], pts[:, d:]
+        else:
+            lo = pts[:, :d] - pts[:, d:]
+            hi = pts[:, :d] + pts[:, d:]
+        mask = self._KERNELS[op](
+            lo,
+            hi,
+            np.asarray(query.lo, dtype=float),
+            np.asarray(query.hi, dtype=float),
+        )
+        return [candidates[i][1] for i in np.nonzero(mask)[0]]
 
     def _corner_box(self, lo_lo, lo_hi, hi_lo, hi_hi) -> Rect:
         """Box over (lo-part range, hi-part range) in corner space."""
@@ -168,62 +204,84 @@ class TransformationSAM(SpatialAccessMethod):
             return None
         return Rect(lo, hi)
 
-    def _point_query(self, point: tuple[float, ...]) -> list[object]:
+    def _query_box(self, kind: str, query) -> Rect | None:
+        """The transformed 2d-dim query box for one query of type ``kind``.
+
+        ``query`` is a point tuple for ``"point"``, a :class:`Rect`
+        otherwise.  Factored out of the query methods so the workload
+        registration (:meth:`_workload_rects`) can announce exactly the
+        boxes the underlying PAM will scan with.
+        """
         zeros = (0.0,) * self.dims
         ones = (1.0,) * self.dims
-        if self.representation == "corner":
-            box = self._corner_box(zeros, point, point, ones)
-        else:
+        if kind == "point":
+            point = query
+            if self.representation == "corner":
+                return self._corner_box(zeros, point, point, ones)
             e = self._extent_bound()
-            box = self._center_box(
+            return self._center_box(
                 [p - e[a] for a, p in enumerate(point)],
                 [p + e[a] for a, p in enumerate(point)],
                 zeros,
                 e,
             )
-        return self._transformed_query(box, lambda r: r.contains_point(point))
-
-    def _intersection(self, query: Rect) -> list[object]:
-        zeros = (0.0,) * self.dims
-        ones = (1.0,) * self.dims
-        if self.representation == "corner":
-            box = self._corner_box(zeros, query.hi, query.lo, ones)
-        else:
+        if kind == "intersection":
+            if self.representation == "corner":
+                return self._corner_box(zeros, query.hi, query.lo, ones)
             e = self._extent_bound()
-            box = self._center_box(
+            return self._center_box(
                 [l - e[a] for a, l in enumerate(query.lo)],
                 [h + e[a] for a, h in enumerate(query.hi)],
                 zeros,
                 e,
             )
-        return self._transformed_query(box, lambda r: r.intersects(query))
-
-    def _containment(self, query: Rect) -> list[object]:
-        if self.representation == "corner":
-            box = self._corner_box(query.lo, query.hi, query.lo, query.hi)
-        else:
+        if kind == "containment":
+            if self.representation == "corner":
+                return self._corner_box(query.lo, query.hi, query.lo, query.hi)
             e = self._extent_bound()
             half = [(h - l) / 2.0 for l, h in zip(query.lo, query.hi)]
-            box = self._center_box(
+            return self._center_box(
                 query.lo,
                 query.hi,
                 (0.0,) * self.dims,
                 [min(e[a], half[a]) for a in range(self.dims)],
             )
-        return self._transformed_query(box, lambda r: query.contains_rect(r))
-
-    def _enclosure(self, query: Rect) -> list[object]:
-        zeros = (0.0,) * self.dims
-        ones = (1.0,) * self.dims
-        if self.representation == "corner":
-            box = self._corner_box(zeros, query.lo, query.hi, ones)
-        else:
+        if kind == "enclosure":
+            if self.representation == "corner":
+                return self._corner_box(zeros, query.lo, query.hi, ones)
             e = self._extent_bound()
             half = [(h - l) / 2.0 for l, h in zip(query.lo, query.hi)]
-            box = self._center_box(
+            return self._center_box(
                 [h - e[a] for a, h in enumerate(query.hi)],
                 [l + e[a] for a, l in enumerate(query.lo)],
                 half,
                 e,
             )
-        return self._transformed_query(box, lambda r: r.contains_rect(query))
+        raise ValueError(f"unknown query kind {kind!r}")
+
+    def _workload_rects(self, kind: str, queries: Sequence) -> list:
+        """The boxes the *underlying PAM* scans with are the transformed
+        query boxes, not the raw queries — register those instead."""
+        if kind == "point":
+            return [
+                self._query_box("point", tuple(float(c) for c in p))
+                for p in queries
+            ]
+        return [self._query_box(kind, q) for q in queries]
+
+    def _point_query(self, point: tuple[float, ...]) -> list[object]:
+        # contains_point(p) == contains_rect(degenerate box at p), exactly.
+        box = self._query_box("point", point)
+        return self._transformed_query(box, "encl", Rect.from_point(point))
+
+    def _intersection(self, query: Rect) -> list[object]:
+        box = self._query_box("intersection", query)
+        return self._transformed_query(box, "isect", query)
+
+    def _containment(self, query: Rect) -> list[object]:
+        box = self._query_box("containment", query)
+        return self._transformed_query(box, "within", query)
+
+    def _enclosure(self, query: Rect) -> list[object]:
+        box = self._query_box("enclosure", query)
+        return self._transformed_query(box, "encl", query)
