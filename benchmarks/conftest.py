@@ -27,6 +27,11 @@ skip finished cells.  The merge is deterministic: tables, totals and
 run-report access histograms are identical to the serial run; only the
 wall-clock timers differ.  The default of 1 keeps the historical
 bit-identical in-process path.
+
+**Performance ledger** — set ``REPRO_LEDGER=1`` (or a path) to append
+every bench cell's timings and access totals to the fingerprinted
+cross-run history in ``results/LEDGER.jsonl``; inspect and gate it with
+``python -m repro.obs.ledger``.
 """
 
 from __future__ import annotations
@@ -85,6 +90,36 @@ def reports_enabled() -> bool:
     return os.environ.get("REPRO_RUN_REPORT", "") == "1"
 
 
+def _record_ledger(
+    kind: str,
+    file_name: str,
+    timers: dict[str, float],
+    totals: dict,
+    *,
+    workers: int = 1,
+) -> None:
+    """Append this bench cell to the performance ledger (REPRO_LEDGER)."""
+    from repro.obs.ledger import entry_from_timers, ledger_from_env
+
+    ledger = ledger_from_env()
+    if ledger is None:
+        return
+    ledger.record(
+        entry_from_timers(
+            label=f"{kind}-bench {file_name}",
+            source="benchmarks/conftest.py",
+            kind=kind,
+            timers=timers,
+            totals=totals,
+            page_size=512,
+            scale=bench_scale(),
+            seed=101 if kind == "pam" else 107,
+            workers=workers,
+            meta={"file": file_name},
+        )
+    )
+
+
 def bench_scale() -> int:
     """Records per data file for this bench session."""
     return testbed_scale()
@@ -129,6 +164,9 @@ def _parallel_results(kind: str, file_name: str) -> dict[str, MethodResult]:
         reports = _pam_reports if kind == "pam" else _sam_reports
         reports[file_name] = report
         report.save(RESULTS_DIR / f"RUN-{kind.upper()}-{file_name}.json")
+    _record_ledger(
+        kind, file_name, outcome.timers, outcome.totals, workers=bench_workers()
+    )
     return outcome.results
 
 
@@ -190,6 +228,7 @@ def pam_results(file_name: str) -> dict[str, MethodResult]:
         )
         _pam_reports[file_name] = report
         report.save(RESULTS_DIR / f"RUN-PAM-{file_name}.json")
+    _record_ledger("pam", file_name, timers, totals)
     _pam_cache[file_name] = results
     return results
 
@@ -262,6 +301,7 @@ def sam_results(file_name: str) -> dict[str, MethodResult]:
         )
         _sam_reports[file_name] = report
         report.save(RESULTS_DIR / f"RUN-SAM-{file_name}.json")
+    _record_ledger("sam", file_name, timers, totals)
     _sam_cache[file_name] = results
     return results
 

@@ -9,6 +9,7 @@ is exactly how the paper's tables are laid out.
 from __future__ import annotations
 
 import os
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
@@ -203,6 +204,7 @@ def run_pam_experiment(
     tracer=None,
     workers: int = 1,
     audit: bool | None = None,
+    ledger=None,
 ) -> dict[str, MethodResult]:
     """Build every PAM on the same data file and run the query files.
 
@@ -218,21 +220,43 @@ def run_pam_experiment(
 
     ``audit=True`` audits every structure post-build (and requires
     ``workers == 1``, like a tracer); ``None`` defers to ``REPRO_AUDIT``.
+
+    ``ledger`` records the run (timings + access totals) to the
+    performance ledger; ``None`` defers to ``REPRO_LEDGER``, ``False``
+    disables recording.
     """
     if workers > 1:
         if _audit_requested(audit):
             raise ValueError(
                 "post-build audits run in-process; run with workers=1"
             )
-        return _parallel_experiment("pam", factories, points, seed, tracer, workers)
+        return _parallel_experiment(
+            "pam", factories, points, seed, tracer, workers, ledger
+        )
     results = {}
+    timers: dict[str, float] = {}
+    totals: dict[str, object] = {}
     for name, factory in factories.items():
         if tracer is not None:
             tracer.set_context(structure=name)
+        t0 = time.perf_counter()
         pam = build_pam(factory, points, tracer=tracer, audit=audit)
+        t1 = time.perf_counter()
         result = run_pam_queries(pam, seed=seed, tracer=tracer)
+        t2 = time.perf_counter()
         result.name = name
         results[name] = result
+        timers[f"{name}/build"] = t1 - t0
+        timers[f"{name}/queries"] = t2 - t1
+        totals[name] = pam.store.stats.snapshot()
+    _record_experiment(
+        ledger,
+        kind="pam",
+        timers=timers,
+        totals=totals,
+        scale=len(points),
+        seed=seed,
+    )
     return results
 
 
@@ -243,31 +267,83 @@ def run_sam_experiment(
     tracer=None,
     workers: int = 1,
     audit: bool | None = None,
+    ledger=None,
 ) -> dict[str, MethodResult]:
     """Build every SAM on the same rectangle file and run the queries.
 
     ``workers > 1`` parallelises by structure exactly like
-    :func:`run_pam_experiment`; ``audit`` behaves as there.
+    :func:`run_pam_experiment`; ``audit`` and ``ledger`` behave as
+    there.
     """
     if workers > 1:
         if _audit_requested(audit):
             raise ValueError(
                 "post-build audits run in-process; run with workers=1"
             )
-        return _parallel_experiment("sam", factories, rects, seed, tracer, workers)
+        return _parallel_experiment(
+            "sam", factories, rects, seed, tracer, workers, ledger
+        )
     results = {}
+    timers: dict[str, float] = {}
+    totals: dict[str, object] = {}
     for name, factory in factories.items():
         if tracer is not None:
             tracer.set_context(structure=name)
+        t0 = time.perf_counter()
         sam = build_sam(factory, rects, tracer=tracer, audit=audit)
+        t1 = time.perf_counter()
         result = run_sam_queries(sam, seed=seed, tracer=tracer)
+        t2 = time.perf_counter()
         result.name = name
         results[name] = result
+        timers[f"{name}/build"] = t1 - t0
+        timers[f"{name}/queries"] = t2 - t1
+        totals[name] = sam.store.stats.snapshot()
+    _record_experiment(
+        ledger,
+        kind="sam",
+        timers=timers,
+        totals=totals,
+        scale=len(rects),
+        seed=seed,
+    )
     return results
 
 
+def _record_experiment(
+    ledger,
+    *,
+    kind: str,
+    timers: dict[str, float],
+    totals: dict,
+    scale: int,
+    seed: int | None,
+    workers: int = 1,
+    page_size: int = 512,
+) -> None:
+    """Append an experiment's timings/totals to the performance ledger."""
+    from repro.obs.ledger import entry_from_timers, resolve_ledger
+
+    target = resolve_ledger(ledger)
+    if target is None:
+        return
+    target.record(
+        entry_from_timers(
+            label=f"{kind}-experiment",
+            source="repro.core.comparison",
+            kind=kind,
+            timers=timers,
+            totals=totals,
+            page_size=page_size,
+            scale=scale,
+            seed=seed,
+            workers=workers,
+        )
+    )
+
+
 def _parallel_experiment(
-    kind: str, factories: dict, data, seed: int, tracer, workers: int
+    kind: str, factories: dict, data, seed: int, tracer, workers: int, ledger=None
 ) -> dict[str, MethodResult]:
     """Fan an experiment out by structure name via :mod:`repro.parallel`."""
     if tracer is not None:
@@ -279,6 +355,15 @@ def _parallel_experiment(
 
     outcome = run_parallel_experiment(
         kind, list(factories), data, seed=seed, workers=workers
+    )
+    _record_experiment(
+        ledger,
+        kind=kind,
+        timers=outcome.timers,
+        totals=outcome.totals,
+        scale=len(data),
+        seed=seed,
+        workers=workers,
     )
     return outcome.results
 

@@ -92,6 +92,7 @@ def run_standard_pam_testbed(
     label: str = "standard PAM testbed",
     page_size: int = 512,
     workers: int | None = None,
+    ledger=None,
 ):
     """Traced run of the standard PAM comparison on ``points``.
 
@@ -100,6 +101,8 @@ def run_standard_pam_testbed(
     testbed users never touch the observability layer.  ``workers``
     defaults to :func:`testbed_workers`; more than one fans the
     structures out over a process pool with identical results.
+    ``ledger`` optionally records the run to the performance ledger
+    (``None`` defers to ``REPRO_LEDGER``).
     """
     workers = testbed_workers() if workers is None else workers
     if workers > 1:
@@ -113,11 +116,17 @@ def run_standard_pam_testbed(
             label=label,
             page_size=page_size,
             workers=workers,
+            ledger=ledger,
         )
     from repro.obs.runner import traced_pam_run
 
     return traced_pam_run(
-        standard_pam_factories(), points, seed=seed, label=label, page_size=page_size
+        standard_pam_factories(),
+        points,
+        seed=seed,
+        label=label,
+        page_size=page_size,
+        ledger=ledger,
     )
 
 
@@ -127,6 +136,7 @@ def run_standard_sam_testbed(
     label: str = "standard SAM testbed",
     page_size: int = 512,
     workers: int | None = None,
+    ledger=None,
 ):
     """Traced run of the standard SAM comparison on ``rects``."""
     workers = testbed_workers() if workers is None else workers
@@ -141,11 +151,17 @@ def run_standard_sam_testbed(
             label=label,
             page_size=page_size,
             workers=workers,
+            ledger=ledger,
         )
     from repro.obs.runner import traced_sam_run
 
     return traced_sam_run(
-        standard_sam_factories(), rects, seed=seed, label=label, page_size=page_size
+        standard_sam_factories(),
+        rects,
+        seed=seed,
+        label=label,
+        page_size=page_size,
+        ledger=ledger,
     )
 
 

@@ -18,6 +18,14 @@ package makes those counts observable at every granularity:
   tracer and produce a :class:`RunReport`.
 * :mod:`repro.obs.report` — the ``python -m repro.obs.report`` CLI that
   prints, validates and diffs run reports.
+* :mod:`repro.obs.ledger` — the append-only performance ledger
+  (``results/LEDGER.jsonl``) and its ``record``/``log``/``baseline``/
+  ``compare``/``gate`` CLI: fingerprinted cross-run history with a
+  noise-aware regression gate.
+* :mod:`repro.obs.profile` — deterministic cost attribution
+  (:class:`CostAttribution`): per-structure/phase/operation wall-time
+  and disk-access rollups whose totals match the tracer bit-exactly,
+  a counted-vs-uncounted page-touch heatmap, and flamegraph export.
 
 Tracing is strictly additive: the observer hook never changes which
 accesses are charged, so an instrumented run reports exactly the same
@@ -29,7 +37,10 @@ from repro.obs.export import (
     JsonlTraceSink,
     RunReport,
     build_run_report,
+    profile_to_collapsed,
+    profile_to_speedscope,
     summarise_spans,
+    summarise_touches,
     validate_run_report,
 )
 from repro.obs.metrics import (
@@ -39,25 +50,84 @@ from repro.obs.metrics import (
     MetricsRegistry,
     Timer,
 )
-from repro.obs.runner import traced_pam_run, traced_sam_run
-from repro.obs.tracer import AccessEvent, Span, StoreObserver, Tracer
+from repro.obs.runner import record_to_ledger, traced_pam_run, traced_sam_run
+from repro.obs.tracer import (
+    BUILD_OPS,
+    AccessEvent,
+    Span,
+    StoreObserver,
+    Tracer,
+    phase_of,
+)
 
 __all__ = [
     "AccessEvent",
+    "BUILD_OPS",
+    "CostAttribution",
     "Counter",
     "DEFAULT_ACCESS_BUCKETS",
+    "FingerprintMismatch",
     "Histogram",
     "JsonlTraceSink",
+    "LEDGER_SCHEMA",
+    "Ledger",
+    "LedgerEntry",
     "MetricsRegistry",
+    "OpCost",
     "RUN_REPORT_SCHEMA",
     "RunReport",
     "Span",
     "StoreObserver",
     "Timer",
     "Tracer",
+    "apportion",
     "build_run_report",
+    "collect_fingerprint",
+    "entry_from_bench_document",
+    "entry_from_run_report",
+    "entry_from_timers",
+    "gate_run",
+    "ledger_from_env",
+    "phase_of",
+    "profile_to_collapsed",
+    "profile_to_speedscope",
+    "record_to_ledger",
+    "resolve_ledger",
     "summarise_spans",
+    "summarise_touches",
     "traced_pam_run",
     "traced_sam_run",
     "validate_run_report",
 ]
+
+# Ledger and profile names resolve lazily (PEP 562): both modules have
+# ``python -m`` entry points, and an eager import here would trigger
+# runpy's found-in-sys.modules double-import warning on every CLI call.
+_LEDGER_NAMES = frozenset(
+    {
+        "LEDGER_SCHEMA",
+        "FingerprintMismatch",
+        "Ledger",
+        "LedgerEntry",
+        "collect_fingerprint",
+        "entry_from_bench_document",
+        "entry_from_run_report",
+        "entry_from_timers",
+        "gate_run",
+        "ledger_from_env",
+        "resolve_ledger",
+    }
+)
+_PROFILE_NAMES = frozenset({"CostAttribution", "OpCost", "apportion"})
+
+
+def __getattr__(name: str):
+    if name in _LEDGER_NAMES:
+        from repro.obs import ledger
+
+        return getattr(ledger, name)
+    if name in _PROFILE_NAMES:
+        from repro.obs import profile
+
+        return getattr(profile, name)
+    raise AttributeError(f"module 'repro.obs' has no attribute {name!r}")

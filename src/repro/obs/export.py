@@ -35,20 +35,25 @@ Report layout (v1)::
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import IO, Iterable, Mapping
 
 from repro.core.stats import AccessStats
 from repro.obs.metrics import DEFAULT_ACCESS_BUCKETS, Histogram
-from repro.obs.tracer import Span
+from repro.obs.tracer import BUILD_OPS, Span
 
 __all__ = [
     "RUN_REPORT_SCHEMA",
     "JsonlTraceSink",
     "RunReport",
     "build_run_report",
+    "profile_to_collapsed",
+    "profile_to_speedscope",
     "summarise_spans",
+    "summarise_touches",
     "validate_run_report",
 ]
 
@@ -65,11 +70,21 @@ class JsonlTraceSink:
         with JsonlTraceSink(path) as sink:
             tracer = Tracer(record_events=True, sink=sink)
             ...
+
+    Writes are atomic at the whole-file level: spans stream to a
+    sibling temp file which only replaces ``path`` on :meth:`close`, so
+    an interrupted run never leaves a torn trace where a previous
+    complete one stood.
     """
 
     def __init__(self, path: str | Path):
         self.path = Path(path)
-        self._fh: IO[str] | None = self.path.open("w", encoding="utf-8")
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=self.path.parent, prefix=f"{self.path.name}.", suffix=".tmp"
+        )
+        self._tmp = Path(tmp_name)
+        self._fh: IO[str] | None = os.fdopen(fd, "w", encoding="utf-8")
         self.spans_written = 0
 
     def write_span(self, span: Span) -> None:
@@ -82,12 +97,26 @@ class JsonlTraceSink:
         if self._fh is not None:
             self._fh.close()
             self._fh = None
+            os.replace(self._tmp, self.path)
+
+    def abort(self) -> None:
+        """Discard the temp file without touching ``path``."""
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+            try:
+                os.unlink(self._tmp)
+            except OSError:
+                pass
 
     def __enter__(self) -> "JsonlTraceSink":
         return self
 
-    def __exit__(self, *exc) -> None:
-        self.close()
+    def __exit__(self, exc_type, *exc) -> None:
+        if exc_type is not None:
+            self.abort()
+        else:
+            self.close()
 
 
 def summarise_spans(
@@ -104,6 +133,38 @@ def summarise_spans(
                 f"{span.structure}/{span.op}/accesses", buckets
             )
         hist.observe(span.accesses)
+    return out
+
+
+def summarise_touches(spans: Iterable[Span]) -> dict[str, dict[str, dict]]:
+    """Exact per-operation touch counters: structure -> op -> summary.
+
+    Each summary carries the four charged counters, the free (uncharged)
+    touch count and the number of operations — everything the profiler
+    needs to rebuild a :class:`~repro.obs.profile.CostAttribution` from
+    a saved report without the original span stream.
+    """
+    out: dict[str, dict[str, dict]] = {}
+    for span in spans:
+        per_op = out.setdefault(span.structure, {})
+        cell = per_op.get(span.op)
+        if cell is None:
+            cell = per_op[span.op] = {
+                "operations": 0,
+                "data_reads": 0,
+                "data_writes": 0,
+                "dir_reads": 0,
+                "dir_writes": 0,
+                "charged": 0,
+                "free": 0,
+            }
+        cell["operations"] += 1
+        cell["data_reads"] += span.data_reads
+        cell["data_writes"] += span.data_writes
+        cell["dir_reads"] += span.dir_reads
+        cell["dir_writes"] += span.dir_writes
+        cell["charged"] += span.accesses
+        cell["free"] += span.free_accesses
     return out
 
 
@@ -186,8 +247,47 @@ class RunReport:
 
     # -- rendering ---------------------------------------------------------
 
-    def render(self) -> str:
-        """Human-readable summary: one block per structure."""
+    def render(self, fmt: str = "text") -> str:
+        """Human-readable summary: one block per structure.
+
+        ``fmt="markdown"`` emits a pasteable pipe table instead of the
+        fixed-width layout.
+        """
+        if fmt == "markdown":
+            return self._render_markdown()
+        return self._render_text()
+
+    def _render_markdown(self) -> str:
+        lines = [
+            f"**{self.label}** ({self.kind}, {self.scale} records, "
+            f"{self.page_size} B pages, schema `{self.schema}`)",
+            "",
+            "| structure | op | ops | mean | p50 | p90 | p99 | max "
+            "| results | seconds |",
+            "| --- | --- | ---: | ---: | ---: | ---: | ---: | ---: "
+            "| ---: | ---: |",
+        ]
+        for name, entry in self.structures.items():
+            build = entry.get("build", {})
+            hist = build.get("accesses_per_insert")
+            if hist:
+                lines.append(
+                    f"| {name} | insert | {hist['count']} | {hist['mean']:.2f} "
+                    f"| {hist['p50']:.0f} | {hist['p90']:.0f} "
+                    f"| {hist['p99']:.0f} | {hist['max']:.0f} | - "
+                    f"| {build.get('seconds', 0.0):.3f} |"
+                )
+            for label, q in entry.get("queries", {}).items():
+                h = q["accesses"]
+                lines.append(
+                    f"| {name} | {label} | {h['count']} | {h['mean']:.2f} "
+                    f"| {h['p50']:.0f} | {h['p90']:.0f} | {h['p99']:.0f} "
+                    f"| {h['max']:.0f} | {q.get('results', 0)} "
+                    f"| {q.get('seconds', 0.0):.3f} |"
+                )
+        return "\n".join(lines)
+
+    def _render_text(self) -> str:
         lines = [
             f"run report: {self.label} ({self.kind}, {self.scale} records, "
             f"{self.page_size} B pages, schema {self.schema})"
@@ -257,10 +357,13 @@ def build_run_report(
     ``"<structure>/build"`` / ``"<structure>/queries"`` to seconds.
     """
     timers = dict(timers or {})
+    spans = list(spans)
     histograms = summarise_spans(spans, buckets)
+    touches = summarise_touches(spans)
     structures: dict[str, dict] = {}
     for name, result in results.items():
         per_op = histograms.get(name, {})
+        per_op_touches = touches.get(name, {})
         insert_hist = per_op.get("insert")
         entry: dict = {
             "build": {
@@ -272,6 +375,13 @@ def build_run_report(
         }
         if insert_hist is not None:
             entry["build"]["accesses_per_insert"] = insert_hist.as_dict()
+        build_ops = {
+            op: summary
+            for op, summary in per_op_touches.items()
+            if op in BUILD_OPS
+        }
+        if build_ops:
+            entry["build"]["ops"] = build_ops
         query_seconds = timers.get(f"{name}/queries", 0.0)
         for q_label, cost in result.query_costs.items():
             hist = per_op.get(q_label)
@@ -283,6 +393,9 @@ def build_run_report(
                 "seconds": query_seconds / max(1, len(result.query_costs)),
                 "mean": cost,
             }
+            touch = per_op_touches.get(q_label)
+            if touch is not None:
+                entry["queries"][q_label]["touches"] = touch
         structures[name] = entry
     return RunReport(
         label=label,
@@ -293,6 +406,68 @@ def build_run_report(
         structures=structures,
         meta=dict(meta or {}),
     )
+
+
+# -- flamegraph exporters ---------------------------------------------------
+
+
+def profile_to_speedscope(attribution, *, name: str, unit: str = "accesses") -> dict:
+    """A speedscope file (https://speedscope.app) from an attribution.
+
+    ``attribution`` is anything with a ``stacks(unit)`` method (duck-
+    typed to avoid importing :mod:`repro.obs.profile` here), e.g. a
+    :class:`~repro.obs.profile.CostAttribution`.  Each stack becomes a
+    weighted sample of a ``sampled`` profile; weights are charged disk
+    accesses (``unit="accesses"``, speedscope unit ``none``) or
+    attributed nanoseconds (``unit="wall"``).
+    """
+    stacks = attribution.stacks(unit)
+    frame_index: dict[str, int] = {}
+    frames: list[dict] = []
+    samples: list[list[int]] = []
+    weights: list[int] = []
+    for path, weight in stacks:
+        sample = []
+        for frame in path:
+            label = frame or "(setup)"
+            if label not in frame_index:
+                frame_index[label] = len(frames)
+                frames.append({"name": label})
+            sample.append(frame_index[label])
+        samples.append(sample)
+        weights.append(weight)
+    total = sum(weights)
+    return {
+        "$schema": "https://www.speedscope.app/file-format-schema.json",
+        "shared": {"frames": frames},
+        "profiles": [
+            {
+                "type": "sampled",
+                "name": f"{name} ({unit})",
+                "unit": "nanoseconds" if unit == "wall" else "none",
+                "startValue": 0,
+                "endValue": total,
+                "samples": samples,
+                "weights": weights,
+            }
+        ],
+        "name": name,
+        "exporter": "repro.obs.export",
+    }
+
+
+def profile_to_collapsed(attribution, *, unit: str = "accesses") -> str:
+    """Brendan Gregg collapsed-stack lines (``a;b;c weight`` per line).
+
+    Consumable by ``flamegraph.pl`` and most flamegraph viewers; same
+    duck-typed ``stacks(unit)`` contract as
+    :func:`profile_to_speedscope`.
+    """
+    lines = []
+    for path, weight in attribution.stacks(unit):
+        frames = ";".join(frame or "(setup)" for frame in path)
+        lines.append(f"{frames} {weight}")
+    return "\n".join(lines) + ("\n" if lines else "")
 
 
 # -- validation ------------------------------------------------------------

@@ -60,8 +60,29 @@ def diff_reports(old: RunReport, new: RunReport) -> list[dict]:
     return rows
 
 
-def format_diff(rows: list[dict], threshold: float | None = None) -> str:
-    """Render a diff table; rows past ``threshold`` %% are flagged."""
+def format_diff(
+    rows: list[dict], threshold: float | None = None, fmt: str = "text"
+) -> str:
+    """Render a diff table; rows past ``threshold`` %% are flagged.
+
+    ``fmt="markdown"`` emits a pipe table ready to paste into a PR.
+    """
+    if fmt == "markdown":
+        lines = [
+            "| structure | query | old | new | delta |",
+            "| --- | --- | ---: | ---: | ---: |",
+        ]
+        for row in rows:
+            flag = (
+                " **REGRESSION**"
+                if threshold is not None and row["delta_pct"] > threshold
+                else ""
+            )
+            lines.append(
+                f"| {row['structure']} | {row['label']} | {row['old']:.2f} "
+                f"| {row['new']:.2f} | {row['delta_pct']:+.1f}%{flag} |"
+            )
+        return "\n".join(lines)
     lines = [
         f"{'structure':12s}{'query':14s}{'old':>10s}{'new':>10s}{'delta':>9s}"
     ]
@@ -99,6 +120,12 @@ def main(argv: list[str] | None = None) -> int:
         metavar="PCT",
         help="with two reports: exit 2 if any query mean regressed more than PCT%%",
     )
+    parser.add_argument(
+        "--format",
+        choices=("text", "markdown"),
+        default="text",
+        help="table style for render and diff output",
+    )
     args = parser.parse_args(argv)
     if len(args.reports) > 2:
         parser.error("expected one report, or two to diff")
@@ -128,13 +155,13 @@ def main(argv: list[str] | None = None) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 1
     if len(loaded) == 1:
-        print(loaded[0].render())
+        print(loaded[0].render(args.format))
         return 0
 
     old, new = loaded
     print(f"diff: {args.reports[0]} -> {args.reports[1]}")
     rows = diff_reports(old, new)
-    print(format_diff(rows, args.fail_threshold))
+    print(format_diff(rows, args.fail_threshold, args.format))
     if args.fail_threshold is not None and any(
         row["delta_pct"] > args.fail_threshold for row in rows
     ):

@@ -27,7 +27,7 @@ from repro.obs.export import RunReport, build_run_report
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracer import Tracer
 
-__all__ = ["traced_pam_run", "traced_sam_run"]
+__all__ = ["record_to_ledger", "traced_pam_run", "traced_sam_run"]
 
 
 def _traced_run(
@@ -44,6 +44,7 @@ def _traced_run(
     sink,
     meta: dict | None,
     vector: bool | None,
+    ledger=None,
 ) -> tuple[dict[str, MethodResult], RunReport]:
     tracer = Tracer(record_events=record_events, sink=sink)
     registry = MetricsRegistry()
@@ -60,7 +61,7 @@ def _traced_run(
         result.name = name
         results[name] = result
         totals[name] = method.store.stats.snapshot()
-    return results, build_run_report(
+    report = build_run_report(
         label=label,
         kind=kind,
         scale=len(data),
@@ -72,6 +73,24 @@ def _traced_run(
         timers={name: timer.seconds for name, timer in registry.timers().items()},
         meta=meta,
     )
+    record_to_ledger(report, ledger=ledger)
+    return results, report
+
+
+def record_to_ledger(report: RunReport, *, ledger=None, workers: int = 1) -> None:
+    """Append ``report`` to the performance ledger, if one is active.
+
+    ``ledger`` follows :func:`repro.obs.ledger.resolve_ledger` semantics:
+    ``None`` defers to ``REPRO_LEDGER`` (so recording stays off unless
+    the environment opts in), ``True``/a path/a ``Ledger`` enable it,
+    ``False`` disables it outright.
+    """
+    from repro.obs.ledger import entry_from_run_report, resolve_ledger
+
+    target = resolve_ledger(ledger)
+    if target is None:
+        return
+    target.record(entry_from_run_report(report, workers=workers))
 
 
 def traced_pam_run(
@@ -85,6 +104,7 @@ def traced_pam_run(
     sink=None,
     meta: dict | None = None,
     vector: bool | None = None,
+    ledger=None,
 ) -> tuple[dict[str, MethodResult], RunReport]:
     """Build every PAM on ``points``, run the §3 query files, report.
 
@@ -93,7 +113,8 @@ def traced_pam_run(
     ``report`` adds per-operation histograms, timings and totals.
     ``vector`` forces the stores' columnar caches on or off (``None``
     defers to ``REPRO_VECTOR``); every reported access count is
-    identical either way.
+    identical either way.  ``ledger`` optionally appends the run to the
+    performance ledger (see :func:`record_to_ledger`).
     """
     return _traced_run(
         "pam",
@@ -108,6 +129,7 @@ def traced_pam_run(
         sink=sink,
         meta=meta,
         vector=vector,
+        ledger=ledger,
     )
 
 
@@ -122,6 +144,7 @@ def traced_sam_run(
     sink=None,
     meta: dict | None = None,
     vector: bool | None = None,
+    ledger=None,
 ) -> tuple[dict[str, MethodResult], RunReport]:
     """Build every SAM on ``rects``, run the §7 query workload, report."""
     return _traced_run(
@@ -137,4 +160,5 @@ def traced_sam_run(
         sink=sink,
         meta=meta,
         vector=vector,
+        ledger=ledger,
     )

@@ -30,7 +30,12 @@ import pickle
 import tempfile
 from pathlib import Path
 
-__all__ = ["BuildCache", "cache_from_env", "code_fingerprint"]
+__all__ = [
+    "BuildCache",
+    "cache_from_env",
+    "code_fingerprint",
+    "default_results_root",
+]
 
 _DISABLED_VALUES = {"0", "off", "none", "no", "false"}
 
@@ -69,13 +74,23 @@ def cache_from_env(env: str = "REPRO_BUILD_CACHE") -> "BuildCache | None":
     return BuildCache(_default_root())
 
 
-def _default_root() -> Path:
-    """``<repo>/results/.build_cache`` when run from a checkout."""
+def default_results_root() -> Path:
+    """The repo's ``results/`` directory when run from a checkout.
+
+    Shared by every artefact writer (build cache, benches, the
+    performance ledger) so they all agree on one location; falls back
+    to ``./results`` outside a checkout.
+    """
     here = Path(__file__).resolve()
     for parent in here.parents:
         if (parent / "results").is_dir() or (parent / "pyproject.toml").is_file():
-            return parent / "results" / ".build_cache"
-    return Path.cwd() / "results" / ".build_cache"
+            return parent / "results"
+    return Path.cwd() / "results"
+
+
+def _default_root() -> Path:
+    """``<repo>/results/.build_cache`` when run from a checkout."""
+    return default_results_root() / ".build_cache"
 
 
 class BuildCache:

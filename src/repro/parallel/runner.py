@@ -251,11 +251,14 @@ def traced_parallel_run(
     workers: int = 1,
     cache: BuildCache | str | None = None,
     meta: dict | None = None,
+    ledger=None,
 ):
     """Parallel counterpart of :func:`repro.obs.runner.traced_pam_run`.
 
     Returns ``(results, report)`` with the same shapes as the serial
     traced runners, so callers can switch on a worker count alone.
+    The merged spans and timers are bit-identical to a serial run, so
+    a ledger entry or profile derived here matches one from workers=1.
     """
     outcome = run_parallel_experiment(
         kind,
@@ -269,4 +272,7 @@ def traced_parallel_run(
     report = outcome.to_report(
         label=label, kind=kind, page_size=page_size, seed=seed, meta=meta
     )
+    from repro.obs.runner import record_to_ledger
+
+    record_to_ledger(report, ledger=ledger, workers=workers)
     return outcome.results, report

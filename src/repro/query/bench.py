@@ -235,6 +235,13 @@ def main(argv: list[str] | None = None) -> int:
         help="skip the traced standard-testbed RunReport pair",
     )
     parser.add_argument("--out", type=Path, default=None)
+    parser.add_argument(
+        "--ledger",
+        default=None,
+        metavar="PATH",
+        help="record the run to the performance ledger (a path, or '1' for "
+        "results/LEDGER.jsonl; default: off unless REPRO_LEDGER is set)",
+    )
     args = parser.parse_args(argv)
 
     out_dir = args.out.parent if args.out else results_dir()
@@ -281,6 +288,15 @@ def main(argv: list[str] | None = None) -> int:
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
     }
     out_path.write_text(json.dumps(payload, indent=1) + "\n")
+
+    from repro.obs.ledger import entry_from_bench_document, resolve_ledger
+
+    ledger = resolve_ledger(args.ledger)
+    if ledger is not None:
+        entry = ledger.record(
+            entry_from_bench_document(payload, path=str(out_path))
+        )
+        print(f"  ledger: recorded {entry.run_id} -> {ledger.path}")
 
     print(
         f"query A/B over {len(timings)} structures at scale {args.scale}, "

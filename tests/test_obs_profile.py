@@ -1,0 +1,308 @@
+"""Tests for cost attribution: apportionment, exactness, flamegraphs."""
+
+import json
+
+import pytest
+
+from repro.obs.export import (
+    profile_to_collapsed,
+    profile_to_speedscope,
+    summarise_touches,
+)
+from repro.obs.profile import UNTRACED, CostAttribution, OpCost, apportion, main
+from repro.obs.runner import traced_pam_run
+from repro.obs.tracer import Span, phase_of
+from repro.pam.buddytree import BuddyTree
+from repro.pam.twolevelgrid import TwoLevelGridFile
+
+from tests.conftest import make_points
+
+PAM_FACTORIES = {
+    "GRID": lambda s, dims=2: TwoLevelGridFile(s, dims),
+    "BUDDY": lambda s, dims=2: BuddyTree(s, dims),
+}
+
+
+@pytest.fixture(scope="module")
+def pam_run():
+    points = make_points(300, seed=3)
+    results, report = traced_pam_run(PAM_FACTORIES, points, seed=19, label="unit")
+    return points, results, report
+
+
+class TestApportion:
+    def test_shares_sum_exactly(self):
+        for total, weights in (
+            (1_000_000_007, [3, 1, 4, 1, 5, 9, 2, 6]),
+            (7, [1, 1, 1]),
+            (1, [10, 1]),
+            (999, [0, 5, 0]),
+        ):
+            shares = apportion(total, weights)
+            assert sum(shares) == total
+            assert all(s >= 0 for s in shares)
+
+    def test_proportionality(self):
+        assert apportion(100, [1, 3]) == [25, 75]
+        assert apportion(10, [1, 1, 1, 1, 1]) == [2, 2, 2, 2, 2]
+
+    def test_all_zero_weights_split_evenly(self):
+        assert apportion(10, [0, 0, 0, 0]) == [3, 3, 2, 2]
+
+    def test_edge_cases(self):
+        assert apportion(5, []) == []
+        assert apportion(0, [1, 2]) == [0, 0]
+        assert apportion(-3, [1, 2]) == [0, 0]
+
+    def test_remainders_go_to_largest_fractions(self):
+        # Entitlements 0.7, 2.1, 4.2: floors [0, 2, 4], leftover 1 goes
+        # to the largest remainder (.7).
+        assert apportion(7, [1, 3, 6]) == [1, 2, 4]
+
+
+class TestPhases:
+    def test_build_ops(self):
+        for op in ("", "setup", "insert", "pack"):
+            assert phase_of(op) == "build"
+        for op in ("exact_match", "range", "partial", "q0"):
+            assert phase_of(op) == "query"
+
+
+class TestFromSpans:
+    SPANS = [
+        Span("A", "insert", 0, data_writes=3, dir_writes=1, free_accesses=2),
+        Span("A", "insert", 1, data_writes=2),
+        Span("A", "q0", 0, data_reads=5, dir_reads=1),
+        Span("B", "q0", 0, data_reads=7, free_accesses=4),
+    ]
+
+    def test_groups_and_counts(self):
+        att = CostAttribution.from_spans(self.SPANS)
+        rows = {(r.structure, r.op): r for r in att.rows}
+        insert = rows[("A", "insert")]
+        assert insert.operations == 2
+        assert insert.data_writes == 5
+        assert insert.dir_writes == 1
+        assert insert.free == 2
+        assert insert.phase == "build"
+        assert insert.charged == 6
+        assert insert.touches == 8
+        assert rows[("A", "q0")].phase == "query"
+
+    def test_stats_equal_span_sums(self):
+        att = CostAttribution.from_spans(self.SPANS)
+        total = att.stats()
+        assert total.data_reads == 12
+        assert total.data_writes == 5
+        assert total.dir_reads == 1
+        assert total.dir_writes == 1
+
+    def test_wall_apportioned_exactly(self):
+        timers = {
+            "A/build": 0.123456789,
+            "A/queries": 0.000000001,
+            "B/queries": 1.5,
+        }
+        att = CostAttribution.from_spans(self.SPANS, timers)
+        assert att.total_wall_ns == sum(round(t * 1e9) for t in timers.values())
+        per_phase = att.phase_wall_ns()
+        assert per_phase["A"]["build"] == round(0.123456789 * 1e9)
+        assert per_phase["B"]["query"] == round(1.5 * 1e9)
+
+    def test_unmatched_timer_gets_untraced_row(self):
+        att = CostAttribution.from_spans(self.SPANS, {"C/build": 0.25})
+        untraced = [r for r in att.rows if r.op == UNTRACED]
+        assert len(untraced) == 1
+        assert untraced[0].structure == "C"
+        assert untraced[0].wall_ns == 250_000_000
+        assert att.total_wall_ns == 250_000_000
+
+    def test_zero_second_timer_adds_nothing(self):
+        att = CostAttribution.from_spans([], {"C/build": 0.0})
+        assert att.rows == []
+
+
+class TestFromReport:
+    def test_access_totals_match_report(self, pam_run):
+        _, _, report = pam_run
+        att = CostAttribution.from_report(report)
+        expected = {"data_reads": 0, "data_writes": 0, "dir_reads": 0, "dir_writes": 0}
+        for totals in report.access_totals().values():
+            for key in expected:
+                expected[key] += totals[key]
+        assert att.stats().as_dict() == expected
+
+    def test_wall_total_matches_report_timers(self, pam_run):
+        _, _, report = pam_run
+        att = CostAttribution.from_report(report)
+        expected = 0
+        for entry in report.structures.values():
+            expected += round(entry["build"]["seconds"] * 1e9)
+            expected += round(
+                sum(q["seconds"] for q in entry["queries"].values()) * 1e9
+            )
+        assert att.total_wall_ns == expected
+
+    def test_survives_save_load_round_trip(self, pam_run, tmp_path):
+        _, _, report = pam_run
+        att = CostAttribution.from_report(report)
+        saved = report.save(tmp_path / "report.json")
+        reloaded = CostAttribution.from_report(type(report).load(saved))
+        assert reloaded.as_dict() == att.as_dict()
+
+    def test_legacy_report_degrades_to_untraced(self, pam_run):
+        _, _, report = pam_run
+        stripped = type(report).from_dict(json.loads(json.dumps(report.to_dict())))
+        for entry in stripped.structures.values():
+            entry["build"].pop("ops", None)
+            for q in entry["queries"].values():
+                q.pop("touches", None)
+        att = CostAttribution.from_report(stripped)
+        assert all(r.op == UNTRACED for r in att.rows)
+        assert att.total_wall_ns == CostAttribution.from_report(report).total_wall_ns
+
+
+class TestViews:
+    def make_attribution(self):
+        return CostAttribution.from_spans(
+            TestFromSpans.SPANS, {"A/build": 0.1, "C/build": 0.2}
+        )
+
+    def test_heatmap_skips_untraced(self):
+        heat = self.make_attribution().heatmap()
+        assert "C" not in heat
+        assert heat["A"]["insert"] == {"charged": 6, "free": 2}
+        assert heat["B"]["q0"] == {"charged": 7, "free": 4}
+
+    def test_stacks_units_and_zero_dropping(self):
+        att = self.make_attribution()
+        accesses = dict(att.stacks("accesses"))
+        assert accesses[("A", "build", "insert")] == 6
+        assert ("C", "build", UNTRACED) not in accesses  # zero charged
+        wall = dict(att.stacks("wall"))
+        assert wall[("C", "build", UNTRACED)] == 200_000_000
+        with pytest.raises(ValueError, match="unit"):
+            att.stacks("bogus")
+
+    def test_render_text_and_markdown(self):
+        att = self.make_attribution()
+        text = att.render()
+        assert "TOTAL" in text and "(untraced)" in text
+        md = att.render(fmt="markdown")
+        assert md.startswith("| structure | phase | op |")
+        heat_md = att.render_heatmap(fmt="markdown")
+        assert "| free share |" in heat_md
+
+
+class TestExporters:
+    def test_speedscope_document(self):
+        att = CostAttribution.from_spans(TestFromSpans.SPANS, {"A/build": 0.1})
+        doc = profile_to_speedscope(att, name="unit", unit="accesses")
+        profile = doc["profiles"][0]
+        assert profile["endValue"] == sum(profile["weights"])
+        assert len(profile["samples"]) == len(profile["weights"])
+        frames = doc["shared"]["frames"]
+        for sample in profile["samples"]:
+            assert all(0 <= i < len(frames) for i in sample)
+        labels = {f["name"] for f in frames}
+        assert {"A", "B", "build", "query", "insert", "q0"} <= labels
+
+    def test_collapsed_lines(self):
+        att = CostAttribution.from_spans(TestFromSpans.SPANS)
+        text = profile_to_collapsed(att, unit="accesses")
+        assert text.endswith("\n")
+        lines = dict(
+            line.rsplit(" ", 1) for line in text.splitlines()
+        )
+        assert lines["A;build;insert"] == "6"
+        assert lines["B;query;q0"] == "7"
+
+    def test_empty_attribution(self):
+        att = CostAttribution()
+        assert profile_to_collapsed(att) == ""
+        doc = profile_to_speedscope(att, name="empty")
+        assert doc["profiles"][0]["endValue"] == 0
+
+    def test_summarise_touches_matches_attribution(self):
+        touches = summarise_touches(TestFromSpans.SPANS)
+        assert touches["A"]["insert"] == {
+            "operations": 2,
+            "data_reads": 0,
+            "data_writes": 5,
+            "dir_reads": 0,
+            "dir_writes": 1,
+            "charged": 6,
+            "free": 2,
+        }
+
+
+class TestCli:
+    def test_profile_report_and_flamegraphs(self, pam_run, tmp_path, capsys):
+        _, _, report = pam_run
+        saved = report.save(tmp_path / "report.json")
+        speedscope = tmp_path / "out.speedscope.json"
+        collapsed = tmp_path / "out.collapsed.txt"
+        code = main(
+            [
+                str(saved),
+                "--heatmap",
+                "--speedscope",
+                str(speedscope),
+                "--collapsed",
+                str(collapsed),
+                "--unit",
+                "wall",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "TOTAL" in out and "free share" in out
+        doc = json.loads(speedscope.read_text())
+        profile = doc["profiles"][0]
+        assert profile["unit"] == "nanoseconds"
+        assert profile["endValue"] == sum(profile["weights"])
+        assert collapsed.read_text().strip()
+
+    def test_missing_report_errors(self, tmp_path, capsys):
+        assert main([str(tmp_path / "absent.json")]) == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestParallelIdentity:
+    """Attribution is bit-identical at any worker count (ISSUE acceptance)."""
+
+    @staticmethod
+    def run(workers: int):
+        from repro.parallel.runner import run_pam_file
+
+        return run_pam_file("uniform", scale=200, workers=workers, cache=None)
+
+    def test_workers_do_not_change_attribution(self):
+        serial = self.run(1)
+        parallel = self.run(2)
+        att_serial = CostAttribution.from_spans(serial.spans, serial.timers)
+        att_parallel = CostAttribution.from_spans(parallel.spans, parallel.timers)
+
+        # Access attribution is identical; only wall times may differ.
+        strip = lambda rows: [  # noqa: E731
+            {k: v for k, v in r.as_dict().items() if k != "wall_ns"}
+            for r in rows
+        ]
+        assert strip(att_serial.rows) == strip(att_parallel.rows)
+        assert att_serial.heatmap() == att_parallel.heatmap()
+
+        # Both are exact against their own timers and totals.
+        for att, outcome in ((att_serial, serial), (att_parallel, parallel)):
+            assert att.total_wall_ns == sum(
+                round(t * 1e9) for t in outcome.timers.values()
+            )
+            expected = {
+                "data_reads": 0,
+                "data_writes": 0,
+                "dir_reads": 0,
+                "dir_writes": 0,
+            }
+            for stats in outcome.totals.values():
+                for key in expected:
+                    expected[key] += getattr(stats, key)
+            assert att.stats().as_dict() == expected

@@ -1,0 +1,118 @@
+"""Tests for the traced runners' ledger plumbing and artefact wiring."""
+
+import pytest
+
+from repro.obs.export import JsonlTraceSink
+from repro.obs.ledger import Ledger
+from repro.obs.runner import record_to_ledger, traced_pam_run, traced_sam_run
+from repro.pam.twolevelgrid import TwoLevelGridFile
+from repro.sam.rtree import RTree
+
+from tests.conftest import make_points, make_rects
+
+PAM_FACTORIES = {"GRID": lambda s, dims=2: TwoLevelGridFile(s, dims)}
+SAM_FACTORIES = {"R-Tree": lambda s, dims=2: RTree(s, dims)}
+
+
+@pytest.fixture(autouse=True)
+def no_ambient_ledger(monkeypatch):
+    monkeypatch.delenv("REPRO_LEDGER", raising=False)
+
+
+class TestLedgerPlumbing:
+    def test_off_by_default(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        points = make_points(120, seed=3)
+        traced_pam_run(PAM_FACTORIES, points, seed=19, label="unit")
+        assert not list(tmp_path.rglob("*.jsonl"))
+
+    def test_explicit_path_records_entry(self, tmp_path):
+        path = tmp_path / "L.jsonl"
+        points = make_points(120, seed=3)
+        _, report = traced_pam_run(
+            PAM_FACTORIES, points, seed=19, label="unit", ledger=str(path)
+        )
+        entries, problems = Ledger(path).read()
+        assert problems == []
+        assert len(entries) == 1
+        entry = entries[0]
+        assert entry.label == "unit"
+        assert entry.source == "repro.obs.runner"
+        assert entry.fingerprint["scale"] == len(points)
+        assert entry.fingerprint["seed"] == 19
+        # Timings in the entry mirror the report's timers.
+        grid = entry.metrics["structures"]["GRID"]
+        assert grid["build_seconds"] == report.structures["GRID"]["build"]["seconds"]
+        # Access totals ride along for the gate's drift check.
+        assert entry.totals["GRID"] == report.structures["GRID"]["totals"]
+
+    def test_env_opt_in(self, tmp_path, monkeypatch):
+        path = tmp_path / "ENV.jsonl"
+        monkeypatch.setenv("REPRO_LEDGER", str(path))
+        rects = make_rects(100, seed=4)
+        traced_sam_run(SAM_FACTORIES, rects, seed=23, label="sam-unit")
+        entries = Ledger(path).entries()
+        assert len(entries) == 1
+        assert entries[0].meta["kind"] == "sam"
+
+    def test_false_disables_even_with_env(self, tmp_path, monkeypatch):
+        path = tmp_path / "ENV.jsonl"
+        monkeypatch.setenv("REPRO_LEDGER", str(path))
+        points = make_points(100, seed=3)
+        traced_pam_run(PAM_FACTORIES, points, seed=19, ledger=False)
+        assert not path.exists()
+
+    def test_record_to_ledger_workers_in_fingerprint(self, tmp_path):
+        points = make_points(100, seed=3)
+        _, report = traced_pam_run(PAM_FACTORIES, points, seed=19, label="w")
+        path = tmp_path / "L.jsonl"
+        record_to_ledger(report, ledger=str(path), workers=4)
+        (entry,) = Ledger(path).entries()
+        assert entry.fingerprint["workers"] == 4
+
+    def test_identity_runs_pass_the_gate(self, tmp_path):
+        from repro.obs.ledger import gate_run
+
+        path = tmp_path / "L.jsonl"
+        points = make_points(100, seed=3)
+        _, report = traced_pam_run(PAM_FACTORIES, points, seed=19, label="a")
+        record_to_ledger(report, ledger=str(path))
+        record_to_ledger(report, ledger=str(path))
+        result = gate_run(Ledger(path), max_regression=50)
+        assert result.ok, result.failures
+
+
+class TestSinkPlumbing:
+    def test_runner_streams_spans_to_sink(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        points = make_points(100, seed=3)
+        with JsonlTraceSink(path) as sink:
+            traced_pam_run(
+                PAM_FACTORIES,
+                points,
+                seed=19,
+                record_events=True,
+                sink=sink,
+            )
+            assert sink.spans_written >= len(points)
+        assert path.exists()
+
+
+class TestParallelLedger:
+    def test_parallel_run_records_with_worker_count(self, tmp_path):
+        from repro.parallel.runner import traced_parallel_run
+
+        path = tmp_path / "L.jsonl"
+        points = make_points(150, seed=3)
+        traced_parallel_run(
+            "pam",
+            ["GRID"],
+            points,
+            seed=19,
+            label="par",
+            workers=2,
+            ledger=str(path),
+        )
+        (entry,) = Ledger(path).entries()
+        assert entry.fingerprint["workers"] == 2
+        assert entry.label == "par"
