@@ -7,6 +7,8 @@ measured pair and sweeps its redundancy budget, exhibiting the
 redundancy/retrieval trade-off.
 """
 
+import time
+
 from repro.core.comparison import build_sam, run_sam_queries
 from repro.pam.buddytree import BuddyTree
 from repro.sam.clipping import ClippingSAM
@@ -15,7 +17,7 @@ from repro.sam.rplustree import RPlusTree
 from repro.sam.transformation import TransformationSAM
 from repro.workloads.rect_distributions import generate_rect_file
 
-from benchmarks.conftest import bench_scale, emit
+from benchmarks.conftest import bench_scale, emit, emit_json
 
 
 def query_average(result):
@@ -54,17 +56,36 @@ def test_three_techniques(benchmark):
 
 
 def test_clipping_redundancy_sweep(benchmark):
+    from repro.obs.ablation import build_clip_redundancy_document
+    from repro.obs.ledger import entry_from_bench_document, ledger_from_env
+
     rects = generate_rect_file("gaussian_square", max(bench_scale() // 4, 1000))
     rows = {}
+    doc_rows = []
     for redundancy in (1, 2, 4, 8):
+        started = time.perf_counter()
         sam = build_sam(
             lambda s, dims=2, r=redundancy: ClippingSAM(s, dims, redundancy=r), rects
         )
+        build_seconds = time.perf_counter() - started
+        started = time.perf_counter()
         result = run_sam_queries(sam)
+        query_seconds = time.perf_counter() - started
         rows[redundancy] = (
             sam.stored_regions / len(rects),
             result.query_costs["point"],
             result.metrics.data_pages,
+        )
+        doc_rows.append(
+            {
+                "budget": redundancy,
+                "regions_per_object": sam.stored_regions / len(rects),
+                "point_cost": result.query_costs["point"],
+                "data_pages": result.metrics.data_pages,
+                "build_seconds": build_seconds,
+                "query_seconds": query_seconds,
+                "redundancy": dict(sam.snapshot()["redundancy"]),
+            }
         )
     benchmark(lambda: rows)
     emit(
@@ -76,6 +97,17 @@ def test_clipping_redundancy_sweep(benchmark):
             for budget, (factor, cost, pages) in rows.items()
         ),
     )
+    doc = build_clip_redundancy_document(
+        file="gaussian_square",
+        scale=len(rects),
+        page_size=512,
+        seed=107,
+        rows=doc_rows,
+    )
+    emit_json("ABL-CLIP-REDUNDANCY", doc)
+    ledger = ledger_from_env()
+    if ledger is not None:
+        ledger.record(entry_from_bench_document(doc))
     # More redundancy => strictly more stored regions.
     factors = [rows[b][0] for b in (1, 2, 4, 8)]
     assert factors == sorted(factors)

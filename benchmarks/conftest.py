@@ -28,6 +28,16 @@ run-report access histograms are identical to the serial run; only the
 wall-clock timers differ.  The default of 1 keeps the historical
 bit-identical in-process path.
 
+**Explain traces** — set ``REPRO_EXPLAIN=1`` (or a directory path) to
+record one EXPLAIN trace per (data file, structure) cell
+(``explain/<file>/PAM-<name>.json`` under the results root, or the
+given directory): every query's page
+descent with candidates vs hits, prunes and duplicate elimination.
+Recording is passive — tables and totals stay bit-identical — and the
+per-query traces sum exactly to the measured access counts.  Worker
+processes inherit the variable; warm-cache cells skip execution and
+therefore write no traces.
+
 **Performance ledger** — set ``REPRO_LEDGER=1`` (or a path) to append
 every bench cell's timings and access totals to the fingerprinted
 cross-run history in ``results/LEDGER.jsonl``; inspect and gate it with
@@ -36,6 +46,7 @@ cross-run history in ``results/LEDGER.jsonl``; inspect and gate it with
 
 from __future__ import annotations
 
+import json
 import os
 import time
 from pathlib import Path
@@ -44,6 +55,8 @@ import pytest
 
 from repro.core.comparison import (
     MethodResult,
+    _explain_dir,
+    _trace_path,
     build_pam,
     build_sam,
     run_pam_queries,
@@ -97,20 +110,33 @@ def _record_ledger(
     totals: dict,
     *,
     workers: int = 1,
+    results: dict | None = None,
 ) -> None:
-    """Append this bench cell to the performance ledger (REPRO_LEDGER)."""
+    """Append this bench cell to the performance ledger (REPRO_LEDGER).
+
+    When ``results`` carry structure snapshots, each snapshot's
+    redundancy block rides in the structure's totals so the gate flags
+    redundancy drift like an access-count drift.
+    """
     from repro.obs.ledger import entry_from_timers, ledger_from_env
 
     ledger = ledger_from_env()
     if ledger is None:
         return
+    merged: dict[str, dict] = {}
+    for name, stats in totals.items():
+        row = stats.as_dict() if hasattr(stats, "as_dict") else dict(stats)
+        snapshot = getattr((results or {}).get(name), "snapshot", None)
+        if snapshot and "redundancy" in snapshot:
+            row["redundancy"] = dict(snapshot["redundancy"])
+        merged[name] = row
     ledger.record(
         entry_from_timers(
             label=f"{kind}-bench {file_name}",
             source="benchmarks/conftest.py",
             kind=kind,
             timers=timers,
-            totals=totals,
+            totals=merged,
             page_size=512,
             scale=bench_scale(),
             seed=101 if kind == "pam" else 107,
@@ -118,6 +144,22 @@ def _record_ledger(
             meta={"file": file_name},
         )
     )
+
+
+def _explain_recorder(name: str):
+    """An ExplainRecorder when REPRO_EXPLAIN is on, else ``None``."""
+    if _explain_dir() is None:
+        return None
+    from repro.obs.explain import ExplainRecorder
+
+    return ExplainRecorder(name)
+
+
+def _save_explain(recorder, kind: str, name: str, file_name: str) -> None:
+    # One subdirectory per data file (matching the parallel workers);
+    # without it each file's traces would overwrite the previous one's.
+    if recorder is not None:
+        recorder.save(_trace_path(_explain_dir() / file_name, kind, name))
 
 
 def bench_scale() -> int:
@@ -165,7 +207,12 @@ def _parallel_results(kind: str, file_name: str) -> dict[str, MethodResult]:
         reports[file_name] = report
         report.save(RESULTS_DIR / f"RUN-{kind.upper()}-{file_name}.json")
     _record_ledger(
-        kind, file_name, outcome.timers, outcome.totals, workers=bench_workers()
+        kind,
+        file_name,
+        outcome.timers,
+        outcome.totals,
+        workers=bench_workers(),
+        results=outcome.results,
     )
     return outcome.results
 
@@ -191,9 +238,12 @@ def pam_results(file_name: str) -> dict[str, MethodResult]:
         timers[f"{name}/build"] = time.perf_counter() - started
         _pam_built[(file_name, name)] = pam
         started = time.perf_counter()
-        result = run_pam_queries(pam, tracer=tracer)
+        explain = _explain_recorder(name)
+        result = run_pam_queries(pam, tracer=tracer, explain=explain)
         timers[f"{name}/queries"] = time.perf_counter() - started
+        _save_explain(explain, "pam", name, file_name)
         result.name = name
+        result.snapshot = pam.snapshot()
         results[name] = result
         totals[name] = pam.store.stats.snapshot()
         if name == "BUDDY":
@@ -208,9 +258,12 @@ def pam_results(file_name: str) -> dict[str, MethodResult]:
             pam.pack()
             timers["BUDDY+/build"] = time.perf_counter() - started
             started = time.perf_counter()
-            packed = run_pam_queries(pam, tracer=tracer)
+            explain = _explain_recorder("BUDDY+")
+            packed = run_pam_queries(pam, tracer=tracer, explain=explain)
             timers["BUDDY+/queries"] = time.perf_counter() - started
+            _save_explain(explain, "pam", "BUDDY+", file_name)
             packed.name = "BUDDY+"
+            packed.snapshot = pam.snapshot()
             results["BUDDY+"] = packed
             totals["BUDDY+"] = pam.store.stats - before
     if tracer is not None:
@@ -228,7 +281,7 @@ def pam_results(file_name: str) -> dict[str, MethodResult]:
         )
         _pam_reports[file_name] = report
         report.save(RESULTS_DIR / f"RUN-PAM-{file_name}.json")
-    _record_ledger("pam", file_name, timers, totals)
+    _record_ledger("pam", file_name, timers, totals, results=results)
     _pam_cache[file_name] = results
     return results
 
@@ -281,9 +334,12 @@ def sam_results(file_name: str) -> dict[str, MethodResult]:
         sam = build_sam(factory, rects, tracer=tracer)
         timers[f"{name}/build"] = time.perf_counter() - started
         started = time.perf_counter()
-        result = run_sam_queries(sam, tracer=tracer)
+        explain = _explain_recorder(name)
+        result = run_sam_queries(sam, tracer=tracer, explain=explain)
         timers[f"{name}/queries"] = time.perf_counter() - started
+        _save_explain(explain, "sam", name, file_name)
         result.name = name
+        result.snapshot = sam.snapshot()
         results[name] = result
         totals[name] = sam.store.stats.snapshot()
     if tracer is not None:
@@ -301,7 +357,7 @@ def sam_results(file_name: str) -> dict[str, MethodResult]:
         )
         _sam_reports[file_name] = report
         report.save(RESULTS_DIR / f"RUN-SAM-{file_name}.json")
-    _record_ledger("sam", file_name, timers, totals)
+    _record_ledger("sam", file_name, timers, totals, results=results)
     _sam_cache[file_name] = results
     return results
 
@@ -318,6 +374,16 @@ def emit(experiment_id: str, text: str) -> None:
     print(text)
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{experiment_id}.txt").write_text(text + "\n", encoding="utf-8")
+
+
+def emit_json(experiment_id: str, doc: dict) -> Path:
+    """Persist a schema-validated JSON artefact under ``results/``."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{experiment_id}.json"
+    path.write_text(
+        json.dumps(doc, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return path
 
 
 def paper_vs_measured(

@@ -11,6 +11,7 @@ from __future__ import annotations
 import os
 import time
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Callable, Sequence
 
 from repro.core.interfaces import PointAccessMethod, SpatialAccessMethod
@@ -52,6 +53,10 @@ class MethodResult:
     metrics: BuildMetrics
     query_costs: dict[str, float] = field(default_factory=dict)
     query_results: dict[str, int] = field(default_factory=dict)
+    #: Structure snapshot (:mod:`repro.obs.structure`) taken after the
+    #: build — occupancy, depth profile, redundancy metrics.  ``None``
+    #: for results produced before snapshots existed.
+    snapshot: dict | None = None
 
     @property
     def query_average(self) -> float:
@@ -71,6 +76,37 @@ def _audit_requested(audit: bool | None) -> bool:
     if audit is not None:
         return audit
     return os.environ.get("REPRO_AUDIT", "").lower() not in ("", "0", "off", "no", "false")
+
+
+def _explain_dir(explain: bool | str | None = None) -> Path | None:
+    """Resolve the ``explain`` parameter into a trace directory.
+
+    ``None`` falls back to ``REPRO_EXPLAIN``.  Off-values (empty,
+    ``"0"``, ``"off"``, ``"no"``, ``"false"``, ``False``) disable
+    tracing and return ``None``; ``True`` or ``"1"`` traces into the
+    default ``results/explain``; any other string is taken as the
+    output directory itself.
+    """
+    if explain is None:
+        explain = os.environ.get("REPRO_EXPLAIN", "")
+    if explain is False:
+        return None
+    if explain is True:
+        explain = "1"
+    value = str(explain).strip()
+    if value.lower() in ("", "0", "off", "no", "false"):
+        return None
+    if value == "1":
+        from repro.parallel.cache import default_results_root
+
+        return default_results_root() / "explain"
+    return Path(value)
+
+
+def _trace_path(directory: Path, kind: str, name: str) -> Path:
+    """Deterministic per-structure trace file name under ``directory``."""
+    safe = name.replace("*", "-star").replace("+", "-plus").replace("/", "_")
+    return directory / f"{kind.upper()}-{safe}.json"
 
 
 def build_pam(
@@ -137,7 +173,7 @@ def build_sam(
 
 
 def run_pam_queries(
-    pam: PointAccessMethod, seed: int = 101, tracer=None
+    pam: PointAccessMethod, seed: int = 101, tracer=None, explain=None
 ) -> MethodResult:
     """Run the five query files of §3 against a built PAM.
 
@@ -145,38 +181,52 @@ def run_pam_queries(
     spans labelled with the file's query type.  Each file runs through
     :func:`repro.query.driver.run_query_file`, so a store with a
     columnar cache evaluates the whole file as one batched workload.
+
+    ``explain`` is an optional
+    :class:`~repro.obs.explain.ExplainRecorder`; when given, every
+    query file is traced page-by-page under the file's query-type
+    label.  Tracing is passive — costs and results are unchanged.
     """
     result = MethodResult(type(pam).__name__, pam.metrics())
     for label, volume in zip(PAM_QUERY_TYPES[:3], RANGE_QUERY_VOLUMES):
         if tracer is not None:
             tracer.set_context(op=label)
+        if explain is not None:
+            explain.label = label
         queries = generate_range_queries(volume, seed=seed)
-        outcomes = run_query_file(pam, "range", queries, pam.range_query)
+        outcomes = run_query_file(pam, "range", queries, pam.range_query, explain=explain)
         result.query_costs[label] = sum(c for c, _ in outcomes) / len(queries)
         result.query_results[label] = sum(len(hits) for _, hits in outcomes)
     for label, axis in (("pm_x", 0), ("pm_y", 1)):
         if tracer is not None:
             tracer.set_context(op=label)
+        if explain is not None:
+            explain.label = label
         queries = generate_partial_match_queries(axis, seed=seed + 2)
-        outcomes = run_query_file(pam, "pm", queries, pam.partial_match)
+        outcomes = run_query_file(pam, "pm", queries, pam.partial_match, explain=explain)
         result.query_costs[label] = sum(c for c, _ in outcomes) / len(queries)
         result.query_results[label] = sum(len(hits) for _, hits in outcomes)
     return result
 
 
 def run_sam_queries(
-    sam: SpatialAccessMethod, seed: int = 107, tracer=None
+    sam: SpatialAccessMethod, seed: int = 107, tracer=None, explain=None
 ) -> MethodResult:
     """Run the four query types of §7 against a built SAM.
 
     Each query type runs as one batched workload via
-    :func:`repro.query.driver.run_query_file`.
+    :func:`repro.query.driver.run_query_file`.  ``explain`` behaves as
+    in :func:`run_pam_queries`.
     """
     workload = generate_rect_query_workload(seed=seed)
     result = MethodResult(type(sam).__name__, sam.metrics())
     if tracer is not None:
         tracer.set_context(op="point")
-    outcomes = run_query_file(sam, "point", workload["points"], sam.point_query)
+    if explain is not None:
+        explain.label = "point"
+    outcomes = run_query_file(
+        sam, "point", workload["points"], sam.point_query, explain=explain
+    )
     result.query_costs["point"] = sum(c for c, _ in outcomes) / len(
         workload["points"]
     )
@@ -189,7 +239,11 @@ def run_sam_queries(
     for label, operation in operations.items():
         if tracer is not None:
             tracer.set_context(op=label)
-        outcomes = run_query_file(sam, label, workload["rectangles"], operation)
+        if explain is not None:
+            explain.label = label
+        outcomes = run_query_file(
+            sam, label, workload["rectangles"], operation, explain=explain
+        )
         result.query_costs[label] = sum(c for c, _ in outcomes) / len(
             workload["rectangles"]
         )
@@ -205,6 +259,7 @@ def run_pam_experiment(
     workers: int = 1,
     audit: bool | None = None,
     ledger=None,
+    explain: bool | str | None = None,
 ) -> dict[str, MethodResult]:
     """Build every PAM on the same data file and run the query files.
 
@@ -221,9 +276,17 @@ def run_pam_experiment(
     ``audit=True`` audits every structure post-build (and requires
     ``workers == 1``, like a tracer); ``None`` defers to ``REPRO_AUDIT``.
 
-    ``ledger`` records the run (timings + access totals) to the
-    performance ledger; ``None`` defers to ``REPRO_LEDGER``, ``False``
-    disables recording.
+    ``ledger`` records the run (timings + access totals + per-structure
+    redundancy metrics) to the performance ledger; ``None`` defers to
+    ``REPRO_LEDGER``, ``False`` disables recording.
+
+    ``explain`` writes one :mod:`repro.obs.explain` trace file per
+    structure (``PAM-<name>.json``) into the resolved directory;
+    ``None`` defers to ``REPRO_EXPLAIN`` (see :func:`_explain_dir`).
+    Tracing chains the store observer, so costs are bit-identical with
+    or without it.  With ``workers > 1``, workers resolve
+    ``REPRO_EXPLAIN`` themselves; structures replayed from a warm build
+    cache skip execution and therefore write no trace.
     """
     if workers > 1:
         if _audit_requested(audit):
@@ -233,22 +296,33 @@ def run_pam_experiment(
         return _parallel_experiment(
             "pam", factories, points, seed, tracer, workers, ledger
         )
+    explain_to = _explain_dir(explain)
     results = {}
     timers: dict[str, float] = {}
     totals: dict[str, object] = {}
+    snapshots: dict[str, dict] = {}
     for name, factory in factories.items():
         if tracer is not None:
             tracer.set_context(structure=name)
         t0 = time.perf_counter()
         pam = build_pam(factory, points, tracer=tracer, audit=audit)
         t1 = time.perf_counter()
-        result = run_pam_queries(pam, seed=seed, tracer=tracer)
+        recorder = None
+        if explain_to is not None:
+            from repro.obs.explain import ExplainRecorder
+
+            recorder = ExplainRecorder(name)
+        result = run_pam_queries(pam, seed=seed, tracer=tracer, explain=recorder)
         t2 = time.perf_counter()
         result.name = name
+        result.snapshot = pam.snapshot()
         results[name] = result
+        if recorder is not None:
+            recorder.save(_trace_path(explain_to, "pam", name))
         timers[f"{name}/build"] = t1 - t0
         timers[f"{name}/queries"] = t2 - t1
         totals[name] = pam.store.stats.snapshot()
+        snapshots[name] = result.snapshot
     _record_experiment(
         ledger,
         kind="pam",
@@ -256,6 +330,7 @@ def run_pam_experiment(
         totals=totals,
         scale=len(points),
         seed=seed,
+        snapshots=snapshots,
     )
     return results
 
@@ -268,12 +343,13 @@ def run_sam_experiment(
     workers: int = 1,
     audit: bool | None = None,
     ledger=None,
+    explain: bool | str | None = None,
 ) -> dict[str, MethodResult]:
     """Build every SAM on the same rectangle file and run the queries.
 
     ``workers > 1`` parallelises by structure exactly like
-    :func:`run_pam_experiment`; ``audit`` and ``ledger`` behave as
-    there.
+    :func:`run_pam_experiment`; ``audit``, ``ledger`` and ``explain``
+    behave as there (trace files are named ``SAM-<name>.json``).
     """
     if workers > 1:
         if _audit_requested(audit):
@@ -283,22 +359,33 @@ def run_sam_experiment(
         return _parallel_experiment(
             "sam", factories, rects, seed, tracer, workers, ledger
         )
+    explain_to = _explain_dir(explain)
     results = {}
     timers: dict[str, float] = {}
     totals: dict[str, object] = {}
+    snapshots: dict[str, dict] = {}
     for name, factory in factories.items():
         if tracer is not None:
             tracer.set_context(structure=name)
         t0 = time.perf_counter()
         sam = build_sam(factory, rects, tracer=tracer, audit=audit)
         t1 = time.perf_counter()
-        result = run_sam_queries(sam, seed=seed, tracer=tracer)
+        recorder = None
+        if explain_to is not None:
+            from repro.obs.explain import ExplainRecorder
+
+            recorder = ExplainRecorder(name)
+        result = run_sam_queries(sam, seed=seed, tracer=tracer, explain=recorder)
         t2 = time.perf_counter()
         result.name = name
+        result.snapshot = sam.snapshot()
         results[name] = result
+        if recorder is not None:
+            recorder.save(_trace_path(explain_to, "sam", name))
         timers[f"{name}/build"] = t1 - t0
         timers[f"{name}/queries"] = t2 - t1
         totals[name] = sam.store.stats.snapshot()
+        snapshots[name] = result.snapshot
     _record_experiment(
         ledger,
         kind="sam",
@@ -306,6 +393,7 @@ def run_sam_experiment(
         totals=totals,
         scale=len(rects),
         seed=seed,
+        snapshots=snapshots,
     )
     return results
 
@@ -320,20 +408,34 @@ def _record_experiment(
     seed: int | None,
     workers: int = 1,
     page_size: int = 512,
+    snapshots: dict | None = None,
 ) -> None:
-    """Append an experiment's timings/totals to the performance ledger."""
+    """Append an experiment's timings/totals to the performance ledger.
+
+    ``snapshots`` maps structure name to a structure snapshot; each
+    snapshot's ``redundancy`` block is folded into that structure's
+    access totals, so the gate flags redundancy drift under an
+    identical fingerprint exactly like an access-count drift.
+    """
     from repro.obs.ledger import entry_from_timers, resolve_ledger
 
     target = resolve_ledger(ledger)
     if target is None:
         return
+    merged: dict[str, dict] = {}
+    for name, stats in totals.items():
+        row = stats.as_dict() if hasattr(stats, "as_dict") else dict(stats)
+        snap = (snapshots or {}).get(name)
+        if snap and "redundancy" in snap:
+            row["redundancy"] = dict(snap["redundancy"])
+        merged[name] = row
     target.record(
         entry_from_timers(
             label=f"{kind}-experiment",
             source="repro.core.comparison",
             kind=kind,
             timers=timers,
-            totals=totals,
+            totals=merged,
             page_size=page_size,
             scale=scale,
             seed=seed,
@@ -364,6 +466,7 @@ def _parallel_experiment(
         scale=len(data),
         seed=seed,
         workers=workers,
+        snapshots=getattr(outcome, "snapshots", None),
     )
     return outcome.results
 

@@ -85,6 +85,32 @@ class _AccessMethodBase(abc.ABC):
             f"{type(self).__name__} does not implement iter_records()"
         )
 
+    def _snapshot_pages(self):
+        """Yield a :class:`~repro.obs.structure.PageView` per live page.
+
+        Each structure overrides this with an uncharged walk of its own
+        page layout (via :meth:`PageStore.peek`), mirroring its
+        invariant auditor.  Shared pages (packed BUDDY) are yielded
+        exactly once.  The default refuses, so a structure without a
+        walk cannot silently return an empty snapshot.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement _snapshot_pages()"
+        )
+
+    def snapshot(self) -> dict:
+        """A versioned structural snapshot of the built file.
+
+        Occupancy histograms, depth/fanout distributions and the
+        paper's redundancy metrics (duplication factor, overlap volume,
+        dead space, per-level utilisation), computed from an uncharged
+        page walk — taking a snapshot never changes access statistics.
+        See :mod:`repro.obs.structure` for the schema.
+        """
+        from repro.obs.structure import compute_snapshot
+
+        return compute_snapshot(self)
+
     def check_invariants(self) -> list:
         """Run this structure's auditor and return the violations found.
 

@@ -26,6 +26,7 @@ either way — only wall-clock time changes.
 from __future__ import annotations
 
 import os
+from contextlib import contextmanager
 from typing import Callable
 
 from repro.core.interfaces import PointAccessMethod, SpatialAccessMethod
@@ -68,6 +69,34 @@ def testbed_workers() -> int:
         return 1
 
 
+@contextmanager
+def _explain_env(explain):
+    """Carry an ``explain=`` argument to spawn workers via the environment.
+
+    Worker processes read ``REPRO_EXPLAIN`` at job execution time (see
+    :func:`repro.parallel.jobs.execute_job`), so honouring the keyword
+    under ``workers > 1`` means pinning the variable for the duration of
+    the run.  ``None`` leaves the environment alone.
+    """
+    if explain is None:
+        yield
+        return
+    previous = os.environ.get("REPRO_EXPLAIN")
+    if explain is True:
+        os.environ["REPRO_EXPLAIN"] = "1"
+    elif explain is False:
+        os.environ["REPRO_EXPLAIN"] = "0"
+    else:
+        os.environ["REPRO_EXPLAIN"] = str(explain)
+    try:
+        yield
+    finally:
+        if previous is None:
+            os.environ.pop("REPRO_EXPLAIN", None)
+        else:
+            os.environ["REPRO_EXPLAIN"] = previous
+
+
 def standard_pam_factories() -> dict[str, Callable[..., PointAccessMethod]]:
     """The four compared PAMs plus the BANG* entry-size variant.
 
@@ -93,6 +122,7 @@ def run_standard_pam_testbed(
     page_size: int = 512,
     workers: int | None = None,
     ledger=None,
+    explain=None,
 ):
     """Traced run of the standard PAM comparison on ``points``.
 
@@ -102,22 +132,26 @@ def run_standard_pam_testbed(
     defaults to :func:`testbed_workers`; more than one fans the
     structures out over a process pool with identical results.
     ``ledger`` optionally records the run to the performance ledger
-    (``None`` defers to ``REPRO_LEDGER``).
+    (``None`` defers to ``REPRO_LEDGER``).  ``explain`` writes one
+    :mod:`repro.obs.explain` trace per structure (``True`` for the
+    default directory, a path for an explicit one, ``None`` defers to
+    ``REPRO_EXPLAIN``) at any worker count, without changing results.
     """
     workers = testbed_workers() if workers is None else workers
     if workers > 1:
         from repro.parallel.runner import traced_parallel_run
 
-        return traced_parallel_run(
-            "pam",
-            list(standard_pam_factories()),
-            points,
-            seed=seed,
-            label=label,
-            page_size=page_size,
-            workers=workers,
-            ledger=ledger,
-        )
+        with _explain_env(explain):
+            return traced_parallel_run(
+                "pam",
+                list(standard_pam_factories()),
+                points,
+                seed=seed,
+                label=label,
+                page_size=page_size,
+                workers=workers,
+                ledger=ledger,
+            )
     from repro.obs.runner import traced_pam_run
 
     return traced_pam_run(
@@ -127,6 +161,7 @@ def run_standard_pam_testbed(
         label=label,
         page_size=page_size,
         ledger=ledger,
+        explain=explain,
     )
 
 
@@ -137,22 +172,24 @@ def run_standard_sam_testbed(
     page_size: int = 512,
     workers: int | None = None,
     ledger=None,
+    explain=None,
 ):
     """Traced run of the standard SAM comparison on ``rects``."""
     workers = testbed_workers() if workers is None else workers
     if workers > 1:
         from repro.parallel.runner import traced_parallel_run
 
-        return traced_parallel_run(
-            "sam",
-            list(standard_sam_factories()),
-            rects,
-            seed=seed,
-            label=label,
-            page_size=page_size,
-            workers=workers,
-            ledger=ledger,
-        )
+        with _explain_env(explain):
+            return traced_parallel_run(
+                "sam",
+                list(standard_sam_factories()),
+                rects,
+                seed=seed,
+                label=label,
+                page_size=page_size,
+                workers=workers,
+                ledger=ledger,
+            )
     from repro.obs.runner import traced_sam_run
 
     return traced_sam_run(
@@ -162,6 +199,7 @@ def run_standard_sam_testbed(
         label=label,
         page_size=page_size,
         ledger=ledger,
+        explain=explain,
     )
 
 

@@ -26,6 +26,14 @@ package makes those counts observable at every granularity:
   (:class:`CostAttribution`): per-structure/phase/operation wall-time
   and disk-access rollups whose totals match the tracer bit-exactly,
   a counted-vs-uncounted page-touch heatmap, and flamegraph export.
+* :mod:`repro.obs.explain` — EXPLAIN-style per-query execution traces
+  (:class:`ExplainRecorder`): the pages each query visits, in order,
+  with candidates vs hits, prune decisions and duplicate elimination,
+  plus the ``python -m repro.obs.explain`` trace renderer.
+* :mod:`repro.obs.structure` — uncharged structure snapshots
+  (:func:`compute_snapshot`): occupancy and depth profiles plus
+  first-class redundancy metrics (duplication factor, overlap volume,
+  dead space, coverage).
 
 Tracing is strictly additive: the observer hook never changes which
 accesses are charged, so an instrumented run reports exactly the same
@@ -66,6 +74,8 @@ __all__ = [
     "CostAttribution",
     "Counter",
     "DEFAULT_ACCESS_BUCKETS",
+    "EXPLAIN_SCHEMA",
+    "ExplainRecorder",
     "FingerprintMismatch",
     "Histogram",
     "JsonlTraceSink",
@@ -74,8 +84,10 @@ __all__ = [
     "LedgerEntry",
     "MetricsRegistry",
     "OpCost",
+    "PageView",
     "RUN_REPORT_SCHEMA",
     "RunReport",
+    "SNAPSHOT_SCHEMA",
     "Span",
     "StoreObserver",
     "Timer",
@@ -83,26 +95,35 @@ __all__ = [
     "apportion",
     "build_run_report",
     "collect_fingerprint",
+    "compute_snapshot",
     "entry_from_bench_document",
     "entry_from_run_report",
     "entry_from_timers",
     "gate_run",
     "ledger_from_env",
+    "page_heatmap",
     "phase_of",
     "profile_to_collapsed",
     "profile_to_speedscope",
     "record_to_ledger",
+    "render_heatmap",
+    "render_snapshot",
+    "render_trace",
     "resolve_ledger",
+    "snapshot_to_json",
     "summarise_spans",
     "summarise_touches",
     "traced_pam_run",
     "traced_sam_run",
+    "validate_explain",
     "validate_run_report",
+    "validate_snapshot",
 ]
 
-# Ledger and profile names resolve lazily (PEP 562): both modules have
-# ``python -m`` entry points, and an eager import here would trigger
-# runpy's found-in-sys.modules double-import warning on every CLI call.
+# Ledger, profile and explain names resolve lazily (PEP 562): those
+# modules have ``python -m`` entry points, and an eager import here
+# would trigger runpy's found-in-sys.modules double-import warning on
+# every CLI call.  Structure names ride along for symmetry.
 _LEDGER_NAMES = frozenset(
     {
         "LEDGER_SCHEMA",
@@ -119,6 +140,26 @@ _LEDGER_NAMES = frozenset(
     }
 )
 _PROFILE_NAMES = frozenset({"CostAttribution", "OpCost", "apportion"})
+_EXPLAIN_NAMES = frozenset(
+    {
+        "EXPLAIN_SCHEMA",
+        "ExplainRecorder",
+        "page_heatmap",
+        "render_heatmap",
+        "render_trace",
+        "validate_explain",
+    }
+)
+_STRUCTURE_NAMES = frozenset(
+    {
+        "SNAPSHOT_SCHEMA",
+        "PageView",
+        "compute_snapshot",
+        "render_snapshot",
+        "snapshot_to_json",
+        "validate_snapshot",
+    }
+)
 
 
 def __getattr__(name: str):
@@ -130,4 +171,12 @@ def __getattr__(name: str):
         from repro.obs import profile
 
         return getattr(profile, name)
+    if name in _EXPLAIN_NAMES:
+        from repro.obs import explain
+
+        return getattr(explain, name)
+    if name in _STRUCTURE_NAMES:
+        from repro.obs import structure
+
+        return getattr(structure, name)
     raise AttributeError(f"module 'repro.obs' has no attribute {name!r}")

@@ -245,6 +245,21 @@ class RunReport:
             for name, entry in self.structures.items()
         }
 
+    def redundancy_metrics(self) -> dict[str, dict]:
+        """Per-structure redundancy metrics from structure snapshots.
+
+        Structures recorded before snapshots existed (pre-v6 reports)
+        are simply absent from the result.
+        """
+        out: dict[str, dict] = {}
+        for name, entry in self.structures.items():
+            snap = entry.get("snapshot")
+            if isinstance(snap, Mapping) and isinstance(
+                snap.get("redundancy"), Mapping
+            ):
+                out[name] = dict(snap["redundancy"])
+        return out
+
     # -- rendering ---------------------------------------------------------
 
     def render(self, fmt: str = "text") -> str:
@@ -285,6 +300,22 @@ class RunReport:
                     f"| {h['max']:.0f} | {q.get('results', 0)} "
                     f"| {q.get('seconds', 0.0):.3f} |"
                 )
+        redundancy = self.redundancy_metrics()
+        if redundancy:
+            lines += [
+                "",
+                "| structure | duplication | overlap | dead space "
+                "| coverage | utilisation |",
+                "| --- | ---: | ---: | ---: | ---: | ---: |",
+            ]
+            for name, red in redundancy.items():
+                lines.append(
+                    f"| {name} | {red.get('duplication_factor', 0.0):.3f} "
+                    f"| {red.get('overlap_volume', 0.0):.4f} "
+                    f"| {red.get('dead_space', 0.0):.4f} "
+                    f"| {red.get('coverage', 0.0):.4f} "
+                    f"| {red.get('utilisation', 0.0):.3f} |"
+                )
         return "\n".join(lines)
 
     def _render_text(self) -> str:
@@ -297,6 +328,16 @@ class RunReport:
             totals = entry.get("totals", {})
             total = sum(totals.values()) if totals else 0
             lines.append(f"{name} — {total} total page accesses")
+            red = (entry.get("snapshot") or {}).get("redundancy")
+            if isinstance(red, Mapping):
+                lines.append(
+                    "  redundancy "
+                    f"dup={red.get('duplication_factor', 0.0):.3f}  "
+                    f"overlap={red.get('overlap_volume', 0.0):.4f}  "
+                    f"dead={red.get('dead_space', 0.0):.4f}  "
+                    f"coverage={red.get('coverage', 0.0):.4f}  "
+                    f"util={red.get('utilisation', 0.0):.3f}"
+                )
             build = entry.get("build", {})
             hist = build.get("accesses_per_insert")
             if hist:
@@ -355,6 +396,11 @@ def build_run_report(
     the structure's final store counters (use ``store.stats.snapshot()``,
     or a delta when several structures share one store); ``timers`` maps
     ``"<structure>/build"`` / ``"<structure>/queries"`` to seconds.
+
+    Results carrying a structure ``snapshot`` (occupancy / depth /
+    redundancy, see :mod:`repro.obs.structure`) contribute it as the
+    structure entry's additive ``snapshot`` field; pre-snapshot results
+    simply omit it, keeping old and new reports inter-readable.
     """
     timers = dict(timers or {})
     spans = list(spans)
@@ -375,6 +421,9 @@ def build_run_report(
         }
         if insert_hist is not None:
             entry["build"]["accesses_per_insert"] = insert_hist.as_dict()
+        snapshot = getattr(result, "snapshot", None)
+        if snapshot is not None:
+            entry["snapshot"] = snapshot
         build_ops = {
             op: summary
             for op, summary in per_op_touches.items()
@@ -503,6 +552,13 @@ def validate_run_report(data: Mapping) -> list[str]:
             not isinstance(totals.get(k), int) for k in _STATS_KEYS
         ):
             problems.append(f"{where}.totals must carry integer {_STATS_KEYS}")
+        snapshot = entry.get("snapshot")
+        if snapshot is not None:
+            from repro.obs.structure import validate_snapshot
+
+            problems.extend(
+                f"{where}.snapshot: {p}" for p in validate_snapshot(snapshot)
+            )
         build = entry.get("build")
         if not isinstance(build, Mapping) or not isinstance(
             build.get("metrics"), Mapping

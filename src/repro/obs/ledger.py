@@ -624,7 +624,14 @@ def entry_from_run_report(
     meta: Mapping | None = None,
     fingerprint: Mapping | None = None,
 ) -> LedgerEntry:
-    """Derive a ledger entry from a :class:`~repro.obs.export.RunReport`."""
+    """Derive a ledger entry from a :class:`~repro.obs.export.RunReport`.
+
+    A structure entry carrying a ``snapshot`` contributes the snapshot's
+    redundancy metrics to its access totals, so the gate flags
+    redundancy drift under an identical fingerprint exactly like an
+    access-count drift (both are deterministic, so any change is a
+    behaviour change).
+    """
     timers: dict[str, float] = {}
     totals: dict[str, dict] = {}
     for name, entry in report.structures.items():
@@ -633,6 +640,9 @@ def entry_from_run_report(
             q.get("seconds", 0.0) for q in entry.get("queries", {}).values()
         )
         totals[name] = dict(entry.get("totals", {}))
+        redundancy = (entry.get("snapshot") or {}).get("redundancy")
+        if isinstance(redundancy, Mapping):
+            totals[name]["redundancy"] = dict(redundancy)
     return entry_from_timers(
         label=label or report.label,
         source=source,
@@ -675,8 +685,9 @@ def entry_from_bench_document(
     """Build an entry from a bench artefact, dispatching on its schema.
 
     Understands ``repro.query/bench/v1`` (the scalar/vector A/B
-    harness), ``repro.parallel/bench/v1`` (the grid timing bench) and
-    ``repro.obs/run-report/v1``.  ``inflate`` scales every
+    harness), ``repro.parallel/bench/v1`` (the grid timing bench),
+    ``repro.obs/clip-redundancy/v1`` (the clipping redundancy sweep)
+    and ``repro.obs/run-report/v1``.  ``inflate`` scales every
     ``*_seconds`` metric — the gate's injected-regression test hook.
     """
     schema = doc.get("schema")
@@ -743,6 +754,49 @@ def entry_from_bench_document(
             ),
             metrics=metrics,
             meta=meta,
+        )
+    elif schema == "repro.obs/clip-redundancy/v1":
+        from repro.obs.ablation import validate_clip_redundancy
+
+        problems = validate_clip_redundancy(doc)
+        if problems:
+            raise ValueError(
+                "invalid clip-redundancy document: " + "; ".join(problems)
+            )
+        budgets: dict[str, dict] = {}
+        totals: dict[str, dict] = {}
+        for row in doc["rows"]:
+            key = f"r{row['budget']}"
+            budgets[key] = {
+                "build_seconds": row["build_seconds"],
+                "query_seconds": row["query_seconds"],
+                "point_cost": row["point_cost"],
+            }
+            # Deterministic build shape + redundancy ride in totals, so
+            # the gate flags drift under an identical fingerprint.
+            totals[key] = {
+                "data_pages": row["data_pages"],
+                "regions_per_object": row["regions_per_object"],
+                "redundancy": dict(row["redundancy"]),
+            }
+        entry = LedgerEntry(
+            label=label or "clip-redundancy-sweep",
+            source="benchmarks/bench_ablation_techniques.py",
+            fingerprint=collect_fingerprint(
+                page_size=doc["page_size"],
+                scale=doc["scale"],
+                seed=doc.get("seed"),
+                workers=1,
+            ),
+            metrics={
+                "total_seconds": sum(
+                    b["build_seconds"] + b["query_seconds"]
+                    for b in budgets.values()
+                ),
+                "budgets": budgets,
+            },
+            totals=totals,
+            meta={**meta, "file": doc["file"]},
         )
     elif schema == "repro.obs/run-report/v1":
         from repro.obs.export import RunReport

@@ -15,6 +15,8 @@ from typing import Callable, Sequence
 
 from repro.core.comparison import (
     MethodResult,
+    _explain_dir,
+    _trace_path,
     build_pam,
     build_sam,
     run_pam_queries,
@@ -45,9 +47,11 @@ def _traced_run(
     meta: dict | None,
     vector: bool | None,
     ledger=None,
+    explain: bool | str | None = None,
 ) -> tuple[dict[str, MethodResult], RunReport]:
     tracer = Tracer(record_events=record_events, sink=sink)
     registry = MetricsRegistry()
+    explain_to = _explain_dir(explain)
     results: dict[str, MethodResult] = {}
     totals: dict[str, AccessStats] = {}
     for name, factory in factories.items():
@@ -56,9 +60,17 @@ def _traced_run(
             method = build(
                 factory, data, page_size=page_size, tracer=tracer, vector=vector
             )
+        recorder = None
+        if explain_to is not None:
+            from repro.obs.explain import ExplainRecorder
+
+            recorder = ExplainRecorder(name)
         with registry.timer(f"{name}/queries"):
-            result = run_queries(method, seed=seed, tracer=tracer)
+            result = run_queries(method, seed=seed, tracer=tracer, explain=recorder)
+        if recorder is not None:
+            recorder.save(_trace_path(explain_to, kind, name))
         result.name = name
+        result.snapshot = method.snapshot()
         results[name] = result
         totals[name] = method.store.stats.snapshot()
     report = build_run_report(
@@ -105,6 +117,7 @@ def traced_pam_run(
     meta: dict | None = None,
     vector: bool | None = None,
     ledger=None,
+    explain: bool | str | None = None,
 ) -> tuple[dict[str, MethodResult], RunReport]:
     """Build every PAM on ``points``, run the §3 query files, report.
 
@@ -114,7 +127,11 @@ def traced_pam_run(
     ``vector`` forces the stores' columnar caches on or off (``None``
     defers to ``REPRO_VECTOR``); every reported access count is
     identical either way.  ``ledger`` optionally appends the run to the
-    performance ledger (see :func:`record_to_ledger`).
+    performance ledger (see :func:`record_to_ledger`).  ``explain``
+    follows :func:`repro.core.comparison._explain_dir` semantics
+    (``None`` defers to ``REPRO_EXPLAIN``): when active, one
+    :mod:`repro.obs.explain` trace per structure lands in the trace
+    directory, without changing any reported number.
     """
     return _traced_run(
         "pam",
@@ -130,6 +147,7 @@ def traced_pam_run(
         meta=meta,
         vector=vector,
         ledger=ledger,
+        explain=explain,
     )
 
 
@@ -145,6 +163,7 @@ def traced_sam_run(
     meta: dict | None = None,
     vector: bool | None = None,
     ledger=None,
+    explain: bool | str | None = None,
 ) -> tuple[dict[str, MethodResult], RunReport]:
     """Build every SAM on ``rects``, run the §7 query workload, report."""
     return _traced_run(
@@ -161,4 +180,5 @@ def traced_sam_run(
         meta=meta,
         vector=vector,
         ledger=ledger,
+        explain=explain,
     )

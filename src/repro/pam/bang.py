@@ -135,6 +135,55 @@ class BangFile(PointAccessMethod):
                 else:
                     stack.append(entry.pid)
 
+    def _snapshot_pages(self):
+        """Uncharged :class:`PageView` walk (see :mod:`repro.obs.structure`).
+
+        A page's region is its block rectangle — or, in the
+        minimal-regions variant, the exact MBR its entry carries.
+        Directory pages are byte-budget (capacity 0).
+        """
+        from repro.obs.structure import PageView
+
+        def region_of(entry: _Entry) -> Rect:
+            if entry.mbr is not None:
+                return entry.mbr
+            return blocks.block_rect(entry.bits, self.dims)
+
+        queue: list[tuple[int, int]] = [(self._root_pid, 0)]
+        i = 0
+        while i < len(queue):
+            pid, depth = queue[i]
+            i += 1
+            node: _DirNode = self.store.peek(pid)
+            yield PageView(
+                pid=pid,
+                kind="directory",
+                depth=depth,
+                regions=(blocks.block_rect(node.bits, self.dims),),
+                records=len(node.entries),
+                capacity=0,
+                children=tuple(e.pid for e in node.entries),
+                entry_regions=tuple(region_of(e) for e in node.entries),
+            )
+            for e in node.entries:
+                if node.is_leaf:
+                    page: _DataPage = self.store.peek(e.pid)
+                    yield PageView(
+                        pid=e.pid,
+                        kind="data",
+                        depth=depth + 1,
+                        regions=(region_of(e),),
+                        records=len(page.records),
+                        capacity=self._capacity,
+                        content=(
+                            Rect.bounding_points([p for p, _ in page.records])
+                            if page.records
+                            else None
+                        ),
+                    )
+                else:
+                    queue.append((e.pid, depth + 1))
+
     def _entry_bytes(self, bits: Bits) -> int:
         """On-page size of one directory entry."""
         if self.variable_length_entries:

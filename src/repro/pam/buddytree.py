@@ -138,6 +138,73 @@ class BuddyTree(PointAccessMethod):
             else:
                 stack.extend((e.pid, e.is_data) for e in self.store.peek(pid).entries)
 
+    def _snapshot_pages(self):
+        """Uncharged :class:`PageView` walk (see :mod:`repro.obs.structure`).
+
+        Shared (packed) data pages are yielded once, carrying every
+        sharing entry's region.
+        """
+        from repro.obs.structure import PageView
+
+        if self._root_is_data:
+            page = self.store.peek(self._root_pid)
+            yield PageView(
+                pid=self._root_pid,
+                kind="data",
+                depth=0,
+                regions=(),
+                records=len(page.records),
+                capacity=self._capacity,
+                content=(
+                    Rect.bounding_points([p for p, _ in page.records])
+                    if page.records
+                    else None
+                ),
+            )
+            return
+        queue: list[tuple[int, int, Rect | None]] = [(self._root_pid, 0, None)]
+        data_order: list[int] = []
+        data_owned: dict[int, tuple[int, list[Rect]]] = {}
+        i = 0
+        while i < len(queue):
+            pid, depth, region = queue[i]
+            i += 1
+            node: _DirNode = self.store.peek(pid)
+            yield PageView(
+                pid=pid,
+                kind="directory",
+                depth=depth,
+                regions=(region,) if region is not None else (),
+                records=len(node.entries),
+                capacity=self._fanout,
+                children=tuple(e.pid for e in node.entries),
+                entry_regions=tuple(e.rect for e in node.entries),
+            )
+            for e in node.entries:
+                if e.is_data:
+                    if e.pid not in data_owned:
+                        data_owned[e.pid] = (depth + 1, [])
+                        data_order.append(e.pid)
+                    data_owned[e.pid][1].append(e.rect)
+                else:
+                    queue.append((e.pid, depth + 1, e.rect))
+        for pid in data_order:
+            depth, rects = data_owned[pid]
+            page = self.store.peek(pid)
+            yield PageView(
+                pid=pid,
+                kind="data",
+                depth=depth,
+                regions=tuple(rects),
+                records=len(page.records),
+                capacity=self._capacity,
+                content=(
+                    Rect.bounding_points([p for p, _ in page.records])
+                    if page.records
+                    else None
+                ),
+            )
+
     # -- insertion -------------------------------------------------------------
 
     def _insert(self, point: tuple[float, ...], rid: object) -> None:

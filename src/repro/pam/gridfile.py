@@ -370,6 +370,45 @@ class GridFile(PointAccessMethod):
         for pid in self._layer.boxes:
             yield from self.store.peek(pid).records
 
+    def _snapshot_pages(self):
+        """Uncharged :class:`PageView` walk (see :mod:`repro.obs.structure`)."""
+        from repro.obs.structure import PageView
+
+        per = self._dir_cells_per_page
+        total = self._layer.total_cells()
+        children: dict[int, dict[int, None]] = {
+            pid: {} for pid in self._dir_pages
+        }
+        for cell in sorted(self._layer.cells):
+            children[self._dir_page_of_cell(cell)].setdefault(
+                self._layer.cells[cell]
+            )
+        for i, dpid in enumerate(self._dir_pages):
+            yield PageView(
+                pid=dpid,
+                kind="directory",
+                depth=0,
+                regions=(),
+                records=min(per, total - i * per),
+                capacity=per,
+                children=tuple(children[dpid]),
+            )
+        for pid in self._layer.boxes:
+            page: _DataPage = self.store.peek(pid)
+            yield PageView(
+                pid=pid,
+                kind="data",
+                depth=1,
+                regions=(self._layer.box_rect(pid),),
+                records=len(page.records),
+                capacity=self._capacity,
+                content=(
+                    Rect.bounding_points([p for p, _ in page.records])
+                    if page.records
+                    else None
+                ),
+            )
+
     def _sync_directory_pages(self) -> None:
         """Grow/shrink the simulated directory pages to the cell count."""
         needed = -(-self._layer.total_cells() // self._dir_cells_per_page)

@@ -175,6 +175,72 @@ class HBTree(PointAccessMethod):
                     (leaf.pid, leaf.is_data) for leaf in self._kd_leaves(node.kd)
                 )
 
+    def _snapshot_pages(self):
+        """Uncharged :class:`PageView` walk (see :mod:`repro.obs.structure`).
+
+        The directory is a graph: shared nodes are yielded once at
+        their first-visit (BFS) depth.  Regions come from the kd-leaf
+        MBRs, which are only maintained in the minimal-regions variant.
+        """
+        from repro.obs.structure import PageView
+
+        if self._root_is_data:
+            page = self.store.peek(self._root_pid)
+            yield PageView(
+                pid=self._root_pid,
+                kind="data",
+                depth=0,
+                regions=(),
+                records=len(page.records),
+                capacity=self._capacity,
+                content=page.mbr(),
+            )
+            return
+        queue: list[tuple[int, int]] = [(self._root_pid, 0)]
+        seen_index: set[int] = set([self._root_pid])
+        data_order: list[int] = []
+        data_owned: dict[int, tuple[int, list[Rect]]] = {}
+        i = 0
+        while i < len(queue):
+            pid, depth = queue[i]
+            i += 1
+            node: _IndexNode = self.store.peek(pid)
+            leaves = self._kd_leaves(node.kd)
+            yield PageView(
+                pid=pid,
+                kind="directory",
+                depth=depth,
+                regions=(),
+                records=len(leaves),
+                capacity=0,
+                children=tuple(leaf.pid for leaf in leaves),
+                entry_regions=tuple(
+                    leaf.mbr for leaf in leaves if leaf.mbr is not None
+                ),
+            )
+            for leaf in leaves:
+                if leaf.is_data:
+                    if leaf.pid not in data_owned:
+                        data_owned[leaf.pid] = (depth + 1, [])
+                        data_order.append(leaf.pid)
+                    if leaf.mbr is not None:
+                        data_owned[leaf.pid][1].append(leaf.mbr)
+                elif leaf.pid not in seen_index:
+                    seen_index.add(leaf.pid)
+                    queue.append((leaf.pid, depth + 1))
+        for pid in data_order:
+            depth, rects = data_owned[pid]
+            page = self.store.peek(pid)
+            yield PageView(
+                pid=pid,
+                kind="data",
+                depth=depth,
+                regions=tuple(rects),
+                records=len(page.records),
+                capacity=self._capacity,
+                content=page.mbr(),
+            )
+
     # -- kd-tree helpers -------------------------------------------------------
 
     @staticmethod

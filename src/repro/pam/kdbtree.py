@@ -83,6 +83,47 @@ class KdBTree(PointAccessMethod):
                 node: _RegionPage = self.store.peek(pid)
                 stack.extend((child, node.leaf_children) for child in node.pids)
 
+    def _snapshot_pages(self):
+        """Uncharged :class:`PageView` walk (see :mod:`repro.obs.structure`)."""
+        from repro.obs.structure import PageView
+
+        queue: list[tuple[int, bool, Rect, int]] = [
+            (self._root_pid, self._root_is_leaf, Rect.unit(self.dims), 0)
+        ]
+        i = 0
+        while i < len(queue):
+            pid, is_leaf, region, depth = queue[i]
+            i += 1
+            if is_leaf:
+                page: _PointPage = self.store.peek(pid)
+                yield PageView(
+                    pid=pid,
+                    kind="data",
+                    depth=depth,
+                    regions=(region,),
+                    records=len(page.records),
+                    capacity=self._capacity,
+                    content=(
+                        Rect.bounding_points([p for p, _ in page.records])
+                        if page.records
+                        else None
+                    ),
+                )
+                continue
+            node: _RegionPage = self.store.peek(pid)
+            yield PageView(
+                pid=pid,
+                kind="directory",
+                depth=depth,
+                regions=(region,),
+                records=len(node.pids),
+                capacity=self._fanout,
+                children=tuple(node.pids),
+                entry_regions=tuple(node.rects),
+            )
+            for rect, child in zip(node.rects, node.pids):
+                queue.append((child, node.leaf_children, rect, depth + 1))
+
     @staticmethod
     def _region_contains(rect: Rect, point: tuple[float, ...]) -> bool:
         """Half-open containment so that sibling regions never tie."""

@@ -234,6 +234,33 @@ class _PlopGrid:
         return (lo + hi) / 2.0
 
 
+def snapshot_plop_pages(grid: _PlopGrid, content_of=None):
+    """Uncharged :class:`~repro.obs.structure.PageView` walk of a PLOP grid.
+
+    Shared by the PAM and the overlapping-regions SAM.  Every page is a
+    data page; the *depth* is the page's position in its bucket chain,
+    so the snapshot's level rows show the overflow-chain profile.  The
+    primary page carries the bucket's slice-product region.
+    """
+    from repro.obs.structure import PageView
+
+    for idx, bucket in sorted(grid.buckets.items()):
+        lo = tuple(grid.slices[axis][i] for axis, i in enumerate(idx))
+        hi = tuple(grid.slices[axis][i + 1] for axis, i in enumerate(idx))
+        region = Rect(lo, hi)
+        for position, pid in enumerate(bucket.chain):
+            page: _PlopPage = grid.store.peek(pid)
+            yield PageView(
+                pid=pid,
+                kind="data",
+                depth=position,
+                regions=(region,) if position == 0 else (),
+                records=len(page.records),
+                capacity=grid.capacity,
+                content=content_of(page.records) if content_of else None,
+            )
+
+
 class PlopHashing(PointAccessMethod):
     """PLOP hashing as a point access method."""
 
@@ -254,6 +281,16 @@ class PlopHashing(PointAccessMethod):
     def iter_records(self):
         """Uncharged walk of every record over the bucket chains."""
         return self._grid.iter_all()
+
+    def _snapshot_pages(self):
+        """Uncharged :class:`PageView` walk (see :mod:`repro.obs.structure`)."""
+
+        def content_of(records):
+            if not records:
+                return None
+            return Rect.bounding_points([p for p, _ in records])
+
+        yield from snapshot_plop_pages(self._grid, content_of)
 
     def _insert(self, point: tuple[float, ...], rid: object) -> None:
         self._grid.insert((point, rid))

@@ -65,6 +65,50 @@ class TwinGridFile(PointAccessMethod):
             for pid in layer.boxes:
                 yield from self.store.peek(pid).records
 
+    def _snapshot_pages(self):
+        """Uncharged :class:`PageView` walk (see :mod:`repro.obs.structure`).
+
+        Both grids are walked; the twin grid's pages sit one depth below
+        the primary's so the level rows separate the two files.
+        """
+        from repro.obs.structure import PageView
+
+        per = self._dir_cells_per_page
+        for layer_index, layer in enumerate(self._layers):
+            total = layer.total_cells()
+            children: dict[int, dict[int, None]] = {
+                pid: {} for pid in self._dir_pages[layer_index]
+            }
+            for cell in sorted(layer.cells):
+                children[self._dir_page_of_cell(layer_index, cell)].setdefault(
+                    layer.cells[cell]
+                )
+            for i, dpid in enumerate(self._dir_pages[layer_index]):
+                yield PageView(
+                    pid=dpid,
+                    kind="directory",
+                    depth=2 * layer_index,
+                    regions=(),
+                    records=min(per, total - i * per),
+                    capacity=per,
+                    children=tuple(children[dpid]),
+                )
+            for pid in layer.boxes:
+                page: _DataPage = self.store.peek(pid)
+                yield PageView(
+                    pid=pid,
+                    kind="data",
+                    depth=2 * layer_index + 1,
+                    regions=(layer.box_rect(pid),),
+                    records=len(page.records),
+                    capacity=self._capacity,
+                    content=(
+                        Rect.bounding_points([p for p, _ in page.records])
+                        if page.records
+                        else None
+                    ),
+                )
+
     def _sync_directory_pages(self, layer_index: int) -> None:
         layer = self._layers[layer_index]
         pages = self._dir_pages[layer_index]

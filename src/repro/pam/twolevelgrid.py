@@ -92,6 +92,43 @@ class TwoLevelGridFile(PointAccessMethod):
             for dpid in subgrid.layer.boxes:
                 yield from self.store.peek(dpid).records
 
+    def _snapshot_pages(self):
+        """Uncharged :class:`PageView` walk (see :mod:`repro.obs.structure`).
+
+        The in-core first level is not a disk page and is not walked;
+        second-level directory pages sit at depth 0, data pages below.
+        """
+        from repro.obs.structure import PageView
+
+        for spid in self._root.boxes:
+            subgrid: _SubGrid = self.store.peek(spid)
+            layer = subgrid.layer
+            yield PageView(
+                pid=spid,
+                kind="directory",
+                depth=0,
+                regions=(self._root.box_rect(spid),),
+                records=len(layer.boxes),
+                capacity=0,
+                children=tuple(layer.boxes),
+                entry_regions=tuple(layer.box_rect(d) for d in layer.boxes),
+            )
+            for dpid in layer.boxes:
+                page: _DataPage = self.store.peek(dpid)
+                yield PageView(
+                    pid=dpid,
+                    kind="data",
+                    depth=1,
+                    regions=(layer.box_rect(dpid),),
+                    records=len(page.records),
+                    capacity=self._capacity,
+                    content=(
+                        Rect.bounding_points([p for p, _ in page.records])
+                        if page.records
+                        else None
+                    ),
+                )
+
     # -- operations --------------------------------------------------------
 
     def _insert(self, point: tuple[float, ...], rid: object) -> None:

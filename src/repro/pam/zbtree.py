@@ -212,6 +212,47 @@ class _BPlusTree:
         return out
 
 
+def snapshot_bplus_pages(tree: _BPlusTree, content_of=None):
+    """Uncharged :class:`~repro.obs.structure.PageView` walk of a B+-tree.
+
+    Shared by every structure built on :class:`_BPlusTree` (the z-order
+    PAM and the clipping SAM).  B+-tree pages have no geometric regions;
+    ``content_of(leaf)`` may supply a data-page content MBR.
+    """
+    from repro.obs.structure import PageView
+
+    queue: list[tuple[int, bool, int]] = [(tree.root_pid, tree.root_is_leaf, 0)]
+    i = 0
+    while i < len(queue):
+        pid, is_leaf, depth = queue[i]
+        i += 1
+        if is_leaf:
+            leaf: _Leaf = tree.store.peek(pid)
+            yield PageView(
+                pid=pid,
+                kind="data",
+                depth=depth,
+                regions=(),
+                records=len(leaf.keys),
+                capacity=tree.leaf_capacity,
+                content=content_of(leaf) if content_of else None,
+            )
+            continue
+        node: _Inner = tree.store.peek(pid)
+        yield PageView(
+            pid=pid,
+            kind="directory",
+            depth=depth,
+            regions=(),
+            records=len(node.pids),
+            capacity=tree.inner_capacity,
+            children=tuple(node.pids),
+        )
+        for child in node.pids:
+            child_is_leaf = tree.store.kind(child) is PageKind.DATA
+            queue.append((child, child_is_leaf, depth + 1))
+
+
 class ZOrderBTree(PointAccessMethod):
     """Points stored under their Morton codes in a B+-tree.
 
@@ -245,6 +286,16 @@ class ZOrderBTree(PointAccessMethod):
         """Uncharged walk of every record along the leaf chain."""
         for _, (point, rid) in self._tree.iter_items():
             yield point, rid
+
+    def _snapshot_pages(self):
+        """Uncharged :class:`PageView` walk (see :mod:`repro.obs.structure`)."""
+
+        def content_of(leaf: _Leaf):
+            if not leaf.values:
+                return None
+            return Rect.bounding_points([point for point, _ in leaf.values])
+
+        yield from snapshot_bplus_pages(self._tree, content_of)
 
     def _z(self, point: tuple[float, ...]) -> int:
         return z_value(point, self.dims, Z_BITS_PER_AXIS)

@@ -168,22 +168,51 @@ def execute_job(spec: JobSpec, data: Sequence | None = None) -> JobResult:
     builders, same query seeds, same BUDDY+ derivation and same tracer
     context labels), which is what makes the merged outcome
     indistinguishable from a serial session.
+
+    Each outcome's :class:`MethodResult` carries the structure's
+    post-build snapshot (:mod:`repro.obs.structure`); snapshots are
+    uncharged walks, so totals stay identical to pre-snapshot runs.
+    With ``REPRO_EXPLAIN`` set, the worker also writes one
+    :mod:`repro.obs.explain` trace per structure — workers inherit the
+    environment, so a parallel run traces exactly like a serial one
+    (structures replayed from a warm build cache skip execution and
+    write no trace).
     """
+    from repro.core.comparison import _explain_dir, _trace_path
+
     if data is None:
         data = load_job_data(spec)
     factory = resolve_factory(spec.kind, spec.structure)
     build = build_pam if spec.kind == "pam" else build_sam
     run_queries = run_pam_queries if spec.kind == "pam" else run_sam_queries
+    explain_to = _explain_dir()
+    if explain_to is not None and spec.file:
+        # One subdirectory per data file, mirroring the serial bench:
+        # without it, each file's traces would overwrite the last.
+        explain_to = explain_to / spec.file
+
+    def recorder(name: str):
+        if explain_to is None:
+            return None
+        from repro.obs.explain import ExplainRecorder
+
+        return ExplainRecorder(name)
 
     tracer = Tracer()
     tracer.set_context(structure=spec.structure)
     started = time.perf_counter()
     method = build(factory, data, page_size=spec.page_size, tracer=tracer)
     build_seconds = time.perf_counter() - started
+    explain = recorder(spec.structure)
     started = time.perf_counter()
-    result = run_queries(method, seed=spec.query_seed, tracer=tracer)
+    result = run_queries(
+        method, seed=spec.query_seed, tracer=tracer, explain=explain
+    )
     query_seconds = time.perf_counter() - started
     result.name = spec.structure
+    result.snapshot = method.snapshot()
+    if explain is not None:
+        explain.save(_trace_path(explain_to, spec.kind, spec.structure))
     structures = [
         StructureOutcome(
             spec.structure,
@@ -203,10 +232,16 @@ def execute_job(spec: JobSpec, data: Sequence | None = None) -> JobResult:
         started = time.perf_counter()
         method.pack()
         pack_seconds = time.perf_counter() - started
+        explain = recorder(f"{spec.structure}+")
         started = time.perf_counter()
-        packed = run_queries(method, seed=spec.query_seed, tracer=tracer)
+        packed = run_queries(
+            method, seed=spec.query_seed, tracer=tracer, explain=explain
+        )
         packed_seconds = time.perf_counter() - started
         packed.name = f"{spec.structure}+"
+        packed.snapshot = method.snapshot()
+        if explain is not None:
+            explain.save(_trace_path(explain_to, spec.kind, packed.name))
         structures.append(
             StructureOutcome(
                 packed.name,

@@ -78,6 +78,19 @@ class ExperimentOutcome:
             return result.metrics.records
         return 0
 
+    @property
+    def snapshots(self) -> dict[str, dict]:
+        """Per-structure snapshots carried by the merged results.
+
+        Results replayed from a build cache written before snapshots
+        existed are simply absent.
+        """
+        return {
+            name: result.snapshot
+            for name, result in self.results.items()
+            if getattr(result, "snapshot", None) is not None
+        }
+
     def to_report(
         self,
         *,

@@ -210,7 +210,10 @@ def _write_reports(scale: int, page_size: int, out_dir: Path) -> dict[str, str]:
 
 
 def main(argv: list[str] | None = None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.query.bench",
+        description=__doc__.splitlines()[0],
+    )
     parser.add_argument("--scale", type=int, default=2000, help="records per build")
     parser.add_argument(
         "--page-size",

@@ -35,6 +35,7 @@ def run_query_file(
     kind: str,
     queries: Sequence,
     operation: Callable[[Any], Any],
+    explain=None,
 ) -> list[tuple[int, Any]]:
     """Execute every query of one file, returning ``[(cost, result), ...]``.
 
@@ -43,16 +44,29 @@ def run_query_file(
     ``containment``, ``enclosure``); ``operation(query)`` must run exactly
     one public query of ``method``.  Without a columnar cache
     (``REPRO_VECTOR=0``) this degenerates to the plain per-query loop.
+
+    ``explain`` is an optional
+    :class:`~repro.obs.explain.ExplainRecorder`; when given, every query
+    of the file is traced (visited pages, candidates/hits, prunes).
+    Tracing chains the store's observer, so measured costs and results
+    are identical with or without it.
     """
     method.register_query_workload(kind, queries)
     cache = method.store.columnar
     workload = cache.workload if cache is not None else None
+    if explain is not None:
+        explain.start_file(method, kind)
     out: list[tuple[int, Any]] = []
     try:
         for index, query in enumerate(queries):
             if workload is not None:
                 workload.set_query(index)
-            out.append(_measure(method.store, lambda q=query: operation(q)))
+            cost, result = _measure(method.store, lambda q=query: operation(q))
+            out.append((cost, result))
+            if explain is not None:
+                explain.finish_query(index, query, cost, result)
     finally:
         method.end_query_workload()
+        if explain is not None:
+            explain.end_file()
     return out

@@ -22,7 +22,7 @@ from repro.core.interfaces import SpatialAccessMethod
 from repro.geometry.blocks import Bits
 from repro.geometry.rect import Rect
 from repro.geometry.zorder import decompose_rect, z_interval
-from repro.pam.zbtree import _BPlusTree
+from repro.pam.zbtree import _BPlusTree, snapshot_bplus_pages
 from repro.storage import layout
 from repro.storage.pagestore import PageStore
 from repro.query import scan
@@ -88,6 +88,21 @@ class ClippingSAM(SpatialAccessMethod):
             if rid not in seen:
                 seen.add(rid)
                 yield rect, rid
+
+    def _snapshot_pages(self):
+        """Uncharged :class:`PageView` walk (see :mod:`repro.obs.structure`).
+
+        Leaf entry counts include every redundant z-region copy, so the
+        snapshot's ``duplication_factor`` reports the achieved clipping
+        redundancy directly.
+        """
+
+        def content_of(leaf):
+            if not leaf.values:
+                return None
+            return Rect.bounding([rect for rect, _ in leaf.values])
+
+        yield from snapshot_bplus_pages(self._tree, content_of)
 
     def metrics(self):
         """Slot utilisation counts region entries (objects are redundant)."""

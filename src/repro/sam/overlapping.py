@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from repro.core.interfaces import SpatialAccessMethod
 from repro.geometry.rect import Rect
-from repro.pam.plop import _PlopGrid
+from repro.pam.plop import _PlopGrid, snapshot_plop_pages
 from repro.storage import layout
 from repro.storage.pagestore import PageStore
 from repro.query import scan
@@ -53,6 +53,23 @@ class OverlappingPlop(SpatialAccessMethod):
     def iter_records(self):
         """Uncharged walk of every stored ``(rect, rid)`` entry."""
         return self._grid.iter_all()
+
+    def _snapshot_pages(self):
+        """Uncharged :class:`PageView` walk (see :mod:`repro.obs.structure`).
+
+        Bucket regions overlap the stored rectangles only at their
+        centers, so data-page content MBRs (the true bucket extents)
+        usually poke outside the slice-product region — that spill is
+        the technique's overlap, visible as ``dead_space`` staying 0
+        while coverage misses the content.
+        """
+
+        def content_of(records):
+            if not records:
+                return None
+            return Rect.bounding([rect for rect, _ in records])
+
+        yield from snapshot_plop_pages(self._grid, content_of)
 
     # -- operations ------------------------------------------------------------
 

@@ -100,6 +100,43 @@ class RPlusTree(SpatialAccessMethod):
                 node: _Inner = self.store.peek(pid)
                 stack.extend((child, node.leaf_children) for child in node.pids)
 
+    def _snapshot_pages(self):
+        """Uncharged :class:`PageView` walk (see :mod:`repro.obs.structure`)."""
+        from repro.obs.structure import PageView
+
+        queue: list[tuple[int, bool, Rect, int]] = [
+            (self._root_pid, self._root_is_leaf, Rect.unit(self.dims), 0)
+        ]
+        i = 0
+        while i < len(queue):
+            pid, is_leaf, region, depth = queue[i]
+            i += 1
+            if is_leaf:
+                leaf: _Leaf = self.store.peek(pid)
+                yield PageView(
+                    pid=pid,
+                    kind="data",
+                    depth=depth,
+                    regions=(region,),
+                    records=len(leaf.rects),
+                    capacity=self._capacity,
+                    content=Rect.bounding(leaf.rects) if leaf.rects else None,
+                )
+                continue
+            node: _Inner = self.store.peek(pid)
+            yield PageView(
+                pid=pid,
+                kind="directory",
+                depth=depth,
+                regions=(region,),
+                records=len(node.pids),
+                capacity=self._fanout,
+                children=tuple(node.pids),
+                entry_regions=tuple(node.regions),
+            )
+            for child_region, child in zip(node.regions, node.pids):
+                queue.append((child, node.leaf_children, child_region, depth + 1))
+
     # -- insertion -----------------------------------------------------------------
 
     def _insert(self, rect: Rect, rid: object) -> None:

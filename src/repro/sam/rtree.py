@@ -85,6 +85,40 @@ class RTree(SpatialAccessMethod):
             else:
                 stack.extend(node.children)
 
+    def _snapshot_pages(self):
+        """Uncharged :class:`PageView` walk (see :mod:`repro.obs.structure`)."""
+        from repro.obs.structure import PageView
+
+        queue: list[tuple[int, int, Rect | None]] = [(self._root_pid, 0, None)]
+        i = 0
+        while i < len(queue):
+            pid, depth, region = queue[i]
+            i += 1
+            node: _Node = self.store.peek(pid)
+            if node.is_leaf:
+                yield PageView(
+                    pid=pid,
+                    kind="data",
+                    depth=depth,
+                    regions=(region,) if region is not None else (),
+                    records=len(node.rects),
+                    capacity=self._capacity,
+                    content=Rect.bounding(node.rects) if node.rects else None,
+                )
+                continue
+            yield PageView(
+                pid=pid,
+                kind="directory",
+                depth=depth,
+                regions=(region,) if region is not None else (),
+                records=len(node.rects),
+                capacity=self._capacity,
+                children=tuple(node.children),
+                entry_regions=tuple(node.rects),
+            )
+            for rect, child in zip(node.rects, node.children):
+                queue.append((child, depth + 1, rect))
+
     # -- insertion ----------------------------------------------------------
 
     def _insert(self, rect: Rect, rid: object) -> None:

@@ -95,6 +95,14 @@ class TransformationSAM(SpatialAccessMethod):
         for point, rid in self.pam.iter_records():
             yield self._to_rect(point), rid
 
+    def _snapshot_pages(self):
+        """Delegate to the underlying PAM: its pages are this SAM's pages.
+
+        The page geometry lives in the 2d-dimensional transform space,
+        so the redundancy volumes of a snapshot are 2d-dim volumes.
+        """
+        yield from self.pam._snapshot_pages()
+
     def metrics(self) -> BuildMetrics:
         """Metrics come from the underlying PAM, with this SAM's build cost."""
         inner = self.pam.metrics()

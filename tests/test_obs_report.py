@@ -124,6 +124,71 @@ class TestRunReportSerialisation:
         assert validate_run_report([]) == ["report is not a JSON object"]
 
 
+class TestSnapshotFields:
+    def test_traced_run_attaches_valid_snapshots(self, pam_run):
+        from repro.obs.structure import validate_snapshot
+
+        _, _, report = pam_run
+        for name, entry in report.structures.items():
+            assert validate_snapshot(entry["snapshot"]) == [], name
+        metrics = report.redundancy_metrics()
+        assert set(metrics) == set(PAM_FACTORIES)
+        for red in metrics.values():
+            assert red["duplication_factor"] == 1.0
+
+    def test_text_render_includes_redundancy(self, pam_run):
+        _, _, report = pam_run
+        assert "redundancy dup=" in report.render()
+
+    def test_markdown_render_includes_redundancy_table(self, pam_run):
+        _, _, report = pam_run
+        out = report.render("markdown")
+        assert "| structure | duplication" in out
+
+    def test_pre_snapshot_reports_render_without_snapshots(self, pam_run):
+        """Acceptance: pre-v6 reports (no snapshot field) never KeyError."""
+        _, _, report = pam_run
+        data = copy.deepcopy(report.to_dict())
+        for entry in data["structures"].values():
+            entry.pop("snapshot", None)
+        old = RunReport.from_dict(data)
+        assert validate_run_report(data) == []
+        assert old.redundancy_metrics() == {}
+        assert "redundancy dup=" not in old.render()
+        assert "| duplication" not in old.render("markdown")
+
+    def test_validate_flags_broken_snapshot(self, pam_run):
+        _, _, report = pam_run
+        data = copy.deepcopy(report.to_dict())
+        data["structures"]["GRID"]["snapshot"] = {"schema": "bogus"}
+        problems = validate_run_report(data)
+        assert any("'GRID'].snapshot" in p for p in problems)
+
+
+class TestCommittedReports:
+    """Every RUN-*.json in results/ must load, validate and render."""
+
+    def committed(self):
+        from pathlib import Path
+
+        results = Path(__file__).resolve().parent.parent / "results"
+        return sorted(results.glob("RUN-*.json"))
+
+    def test_round_trip_and_render(self):
+        paths = self.committed()
+        assert paths, "no committed run reports found"
+        for path in paths:
+            report = RunReport.load(path)
+            assert validate_run_report(report.to_dict()) == [], path.name
+            assert report.to_dict() == RunReport.from_dict(
+                report.to_dict()
+            ).to_dict(), path.name
+            assert report.render(), path.name
+            assert report.render("markdown"), path.name
+            assert report.access_totals(), path.name
+            report.redundancy_metrics()  # absent snapshots: no KeyError
+
+
 class TestReportCli:
     def test_prints_percentiles_per_structure(self, pam_run, tmp_path, capsys):
         """Acceptance: the CLI prints per-structure p50/p90/p99."""

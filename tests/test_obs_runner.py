@@ -43,8 +43,13 @@ class TestLedgerPlumbing:
         # Timings in the entry mirror the report's timers.
         grid = entry.metrics["structures"]["GRID"]
         assert grid["build_seconds"] == report.structures["GRID"]["build"]["seconds"]
-        # Access totals ride along for the gate's drift check.
-        assert entry.totals["GRID"] == report.structures["GRID"]["totals"]
+        # Access totals ride along for the gate's drift check, with the
+        # snapshot's redundancy block folded in so drift in either trips it.
+        expected = dict(report.structures["GRID"]["totals"])
+        expected["redundancy"] = dict(
+            report.structures["GRID"]["snapshot"]["redundancy"]
+        )
+        assert entry.totals["GRID"] == expected
 
     def test_env_opt_in(self, tmp_path, monkeypatch):
         path = tmp_path / "ENV.jsonl"
