@@ -6,9 +6,9 @@ One line per run (schema :data:`LEDGER_SCHEMA`), each carrying
 
 * a **fingerprint** — git commit, a hash over every ``repro`` source
   file (the build cache's :func:`~repro.parallel.cache.code_fingerprint`),
-  page size, scale, seed, worker count and ``REPRO_VECTOR`` mode — so
-  runs are only ever compared against runs of the same code and
-  configuration;
+  page size, scale, seed, worker count, ``REPRO_VECTOR`` mode and the
+  ``REPRO_VECTOR_PROMOTE`` threshold override — so runs are only ever
+  compared against runs of the same code and configuration;
 * **metrics** — an arbitrary nesting of numeric leaves; wall-clock
   costs end in ``_seconds`` and are the leaves the regression gate
   evaluates (lower is better);
@@ -113,6 +113,7 @@ def collect_fingerprint(
     seed: int | None = None,
     workers: int = 1,
     vector: str | None = None,
+    promote: str | None = None,
     commit: str | None = None,
     code: str | None = None,
 ) -> dict:
@@ -120,13 +121,18 @@ def collect_fingerprint(
 
     ``vector`` defaults to the resolved ``REPRO_VECTOR`` mode (``"1"``
     or ``"0"``); A/B harnesses that time both modes pass ``"ab"``.
-    ``code`` reuses the build cache's source fingerprint, so any edit
-    anywhere in the package separates histories automatically.
+    ``promote`` defaults to the ``REPRO_VECTOR_PROMOTE`` threshold
+    override (``"default"`` when unset) — tuned runs carry the value so
+    they never gate against untuned baselines.  ``code`` reuses the
+    build cache's source fingerprint, so any edit anywhere in the
+    package separates histories automatically.
     """
     if vector is None:
         from repro.query.columnar import vector_enabled
 
         vector = "1" if vector_enabled() else "0"
+    if promote is None:
+        promote = os.environ.get("REPRO_VECTOR_PROMOTE", "").strip() or "default"
     if code is None:
         from repro.parallel.cache import code_fingerprint
 
@@ -139,6 +145,7 @@ def collect_fingerprint(
         "seed": seed,
         "workers": workers,
         "vector": str(vector),
+        "vector_promote": str(promote),
     }
 
 

@@ -41,11 +41,12 @@ from repro.core.interfaces import PointAccessMethod
 from repro.geometry import blocks
 from repro.geometry.blocks import Bits
 from repro.geometry.rect import Rect
-from repro.geometry.regioncover import is_covered
+from repro.geometry.regioncover import CoverSet, is_covered
 from repro.storage import layout
 from repro.storage.page import PageKind
 from repro.storage.pagestore import PageStore
-from repro.query import scan
+from repro.query import traverse
+from repro.storage.soa import fused_points, soa_field
 
 __all__ = ["BangFile"]
 
@@ -53,7 +54,9 @@ __all__ = ["BangFile"]
 class _DataPage:
     """A data page holding the records of one block region."""
 
-    __slots__ = ("bits", "records")
+    __slots__ = ("bits", "_soa_records")
+
+    records = soa_field()
 
     def __init__(self, bits: Bits):
         self.bits = bits
@@ -75,7 +78,9 @@ class _Entry:
 class _DirNode:
     """A directory page: its own block plus nested child entries."""
 
-    __slots__ = ("bits", "is_leaf", "entries")
+    __slots__ = ("bits", "is_leaf", "_soa_entries")
+
+    entries = soa_field()
 
     def __init__(self, bits: Bits, is_leaf: bool):
         self.bits = bits
@@ -425,6 +430,7 @@ class BangFile(PointAccessMethod):
             if self.minimal_regions:
                 shrunk = next(e for e in parent.entries if e.pid == pid)
                 shrunk.mbr = self._node_region(node)
+                parent.entries.touch("mbrs:cover")
             self.store.write(parent_pid)
             self._split_directory_if_needed(parent_pid, parent)
 
@@ -513,7 +519,7 @@ class BangFile(PointAccessMethod):
 
     def _grow_region(self, block: Bits, point: tuple[float, ...]) -> None:
         """Expand the regions on the path to ``block`` to cover ``point``."""
-        leaf_pid, _, entry = self._leaf_entry(block)
+        leaf_pid, leaf, entry = self._leaf_entry(block)
         if entry.mbr is not None and entry.mbr.contains_point(point):
             return
         entry.mbr = (
@@ -521,6 +527,7 @@ class BangFile(PointAccessMethod):
             if entry.mbr is None
             else entry.mbr.expanded_to_point(point)
         )
+        leaf.entries.touch("mbrs:cover")
         self.store.write(leaf_pid)
         path = self._path_to(self._root_pid, leaf_pid) or []
         for parent_pid, child_pid in zip(reversed(path[:-1]), reversed(path[1:])):
@@ -533,17 +540,19 @@ class BangFile(PointAccessMethod):
                 if parent_entry.mbr is None
                 else parent_entry.mbr.expanded_to_point(point)
             )
+            parent.entries.touch("mbrs:cover")
             self.store.write(parent_pid)
 
     def _refresh_region(self, block: Bits) -> None:
         """Recompute the region of ``block`` (after a split shrank it)."""
-        leaf_pid, _, entry = self._leaf_entry(block)
+        leaf_pid, leaf, entry = self._leaf_entry(block)
         page: _DataPage = self.store._objects[entry.pid]
         entry.mbr = (
             Rect.bounding_points([p for p, _ in page.records])
             if page.records
             else None
         )
+        leaf.entries.touch("mbrs:cover")
         self.store.write(leaf_pid)
         self._recompute_regions_upward(leaf_pid)
 
@@ -558,6 +567,7 @@ class BangFile(PointAccessMethod):
             if new_mbr == parent_entry.mbr:
                 break
             parent_entry.mbr = new_mbr
+            parent.entries.touch("mbrs:cover")
             self.store.write(parent_pid)
 
     def _node_region(self, node: "_DirNode") -> Rect | None:
@@ -566,17 +576,224 @@ class BangFile(PointAccessMethod):
 
     # -- queries ----------------------------------------------------------------
 
+    def _build_blocks_cover(self, lst) -> "np.ndarray":
+        """``[lo, -hi]`` fused rows over a page's entry block rectangles."""
+        dims = self.dims
+        rects_ = [blocks.block_rect(e.bits, dims) for e in lst]
+        lo = np.array([r.lo for r in rects_])
+        hi = np.array([r.hi for r in rects_])
+        return np.concatenate([lo, -hi], axis=1)
+
+    def _build_mbrs_cover(self, lst) -> "np.ndarray":
+        """Fused rows over entry MBRs; entries without one are NaN rows,
+        which compare false in every kernel (they can never match)."""
+        lo = np.full((len(lst), self.dims), np.nan)
+        hi = np.full((len(lst), self.dims), np.nan)
+        for i, entry in enumerate(lst):
+            if entry.mbr is not None:
+                lo[i] = entry.mbr.lo
+                hi[i] = entry.mbr.hi
+        return np.concatenate([lo, -hi], axis=1)
+
+    def _build_nested(self, lst) -> list:
+        """Per-entry ``[block rect, nested sibling blocks, coverage]``.
+
+        The nesting structure depends only on the page's entries, never on
+        the query, so one O(entries^2) pass serves every later query until
+        the entry list mutates (the container invalidates the view).  The
+        third slot lazily memoises the "full block covered by nested
+        siblings" verdict.
+        """
+        dims = self.dims
+        rects_ = [blocks.block_rect(e.bits, dims) for e in lst]
+        info = []
+        for j, entry in enumerate(lst):
+            bits = entry.bits
+            depth = len(bits)
+            nested = [
+                rects_[k]
+                for k, other in enumerate(lst)
+                if other is not entry
+                and len(other.bits) > depth
+                and blocks.is_prefix(bits, other.bits)
+            ]
+            info.append([rects_[j], CoverSet(nested) if nested else None, None])
+        return info
+
+    def _keep_leaf_entries(self, entries, idx: list, rect: Rect) -> list:
+        """Filter a leaf's block/MBR hits by the nesting-coverage rule:
+        an entry whose overlap with the query is entirely covered by
+        sibling blocks nested inside it holds no reachable records."""
+        info = entries.view("nested", self._build_nested)
+        qlo = rect.lo
+        qhi = rect.hi
+        out = []
+        for i in idx:
+            slot = info[i]
+            nested = slot[1]
+            if nested is not None:
+                block = slot[0]
+                blo = block.lo
+                bhi = block.hi
+                # idx holds block/query intersection hits, so the clipped
+                # overlap is never empty.
+                olo = tuple(map(max, blo, qlo))
+                ohi = tuple(map(min, bhi, qhi))
+                if olo == blo and ohi == bhi:
+                    covered = slot[2]
+                    if covered is None:
+                        covered = slot[2] = nested.covers(block)
+                else:
+                    covered = nested.covers_bounds(olo, ohi)
+                if covered:
+                    continue
+            out.append(i)
+        return out
+
     def _range_query(self, rect: Rect) -> list[tuple[tuple[float, ...], object]]:
+        store = self.store
+        if store.columnar is None:
+            return self._range_query_scalar(rect)
+        # Plan: level-at-a-time over uncharged views; block and MBR gates
+        # of every cold directory page of a level — and, afterwards, every
+        # cold data page — share one fused kernel call per op (see
+        # repro.query.traverse).  The nesting-coverage leaf filter is a
+        # cached per-page structure, no kernels involved.
+        objects = store._objects
+        src = traverse.RowSource(store.columnar, rect)
+        row_of = src.row
+        minimal = self.minimal_regions
+        # Promoted pages answer straight from the workload's CSR verdicts;
+        # probing them inline skips the RowSource call for the common case
+        # (the rows are the same lists row() would return).
+        workload = src.workload
+        hot = workload._rows if workload is not None else None
+        qi = workload.index if workload is not None else -1
+        # Inner pages keep their expanded child-pid list and leaves the
+        # surviving data-pid list: the plan needs both for its frontier
+        # and the replay walks the same lists, decoded exactly once.
+        expansion: dict[int, list] = {}
+        relevant: dict[int, list] = {}
+        level = [self._root_pid]
+
+        def resolve(pid: int, node: "_DirNode", b_row: list, m_row, nxt: list) -> None:
+            if minimal:
+                hits = set(m_row)
+                idx = [i for i in b_row if i in hits]
+            else:
+                idx = b_row
+            entries = node.entries
+            if node.is_leaf:
+                relevant[pid] = self._keep_leaf_entries(entries, idx, rect)
+            else:
+                kids = expansion[pid] = [entries[i].pid for i in idx]
+                nxt.extend(kids)
+
+        while level:
+            nxt: list = []
+            deferred: list = []
+            for pid in level:
+                node = objects[pid]
+                entries = node.entries
+                if not entries:
+                    if node.is_leaf:
+                        relevant[pid] = []
+                    else:
+                        expansion[pid] = traverse._EMPTY_ROW
+                    continue
+                b_row = m_row = None
+                if hot is not None:
+                    entry = hot.get((pid, "blocks:isect"))
+                    if entry is not None:
+                        starts, cols = entry
+                        s = starts[qi]
+                        e = starts[qi + 1]
+                        b_row = cols[s:e].tolist() if e > s else traverse._EMPTY_ROW
+                    if minimal:
+                        entry = hot.get((pid, "mbrs:isect"))
+                        if entry is not None:
+                            starts, cols = entry
+                            s = starts[qi]
+                            e = starts[qi + 1]
+                            m_row = (
+                                cols[s:e].tolist() if e > s else traverse._EMPTY_ROW
+                            )
+                if b_row is None:
+                    b_row = row_of(
+                        pid, "blocks:isect", "isect",
+                        entries, "blocks:cover", self._build_blocks_cover,
+                    )
+                if minimal and m_row is None:
+                    m_row = row_of(
+                        pid, "mbrs:isect", "isect",
+                        entries, "mbrs:cover", self._build_mbrs_cover,
+                    )
+                if b_row is None or (minimal and m_row is None):
+                    deferred.append((pid, node, b_row, m_row))
+                else:
+                    resolve(pid, node, b_row, m_row, nxt)
+            if deferred:
+                rows = src.flush()
+                for pid, node, b_row, m_row in deferred:
+                    if b_row is None:
+                        b_row = rows[(pid, "blocks:isect")]
+                    if minimal and m_row is None:
+                        m_row = rows[(pid, "mbrs:isect")]
+                    resolve(pid, node, b_row, m_row, nxt)
+            level = nxt
+        # All surviving data pages ride one last fused call.
+        leaf_dpids: dict[int, list] = {}
+        for pid, keep in relevant.items():
+            entries = objects[pid].entries
+            dpids = leaf_dpids[pid] = [entries[i].pid for i in keep]
+            for dpid in dpids:
+                records = objects[dpid].records
+                if not records:
+                    src.rows[(dpid, "pts")] = traverse._EMPTY_ROW
+                    continue
+                if hot is not None:
+                    entry = hot.get((dpid, "pts"))
+                    if entry is not None:
+                        starts, cols = entry
+                        s = starts[qi]
+                        e = starts[qi + 1]
+                        src.rows[(dpid, "pts")] = (
+                            cols[s:e].tolist() if e > s else traverse._EMPTY_ROW
+                        )
+                        continue
+                row_of(dpid, "pts", "pts", records, "pts", fused_points)
+        rows = src.flush()
+        # Replay: the original descent order with charged reads.
+        result: list[tuple[tuple[float, ...], object]] = []
+        read = store.read
+        stack = [self._root_pid]
+        while stack:
+            pid = stack.pop()
+            node = read(pid)
+            if node.is_leaf:
+                for dpid in leaf_dpids[pid]:
+                    records = read(dpid).records
+                    row = rows[(dpid, "pts")]
+                    if row:
+                        result.extend([records[j] for j in row])
+            else:
+                stack.extend(expansion[pid])
+        return result
+
+    def _range_query_scalar(
+        self, rect: Rect
+    ) -> list[tuple[tuple[float, ...], object]]:
+        """The original scalar descent (the ``REPRO_VECTOR=0`` kill switch)."""
         result: list[tuple[tuple[float, ...], object]] = []
         stack = [self._root_pid]
         while stack:
             pid = stack.pop()
             node: _DirNode = self.store.read(pid)
             if node.is_leaf:
-                for entry in self._relevant_data_entries(pid, node, rect):
+                for entry in self._relevant_data_entries_scalar(node, rect):
                     page: _DataPage = self.store.read(entry.pid)
                     result.extend(
-                        scan.match_records(self.store, entry.pid, page.records, rect)
+                        rec for rec in page.records if rect.contains_point(rec[0])
                     )
             else:
                 # Inner entries cannot be pruned by nesting: a data block
@@ -584,165 +801,44 @@ class BangFile(PointAccessMethod):
                 # the sibling's rectangle in a different subtree.  With
                 # minimal regions, an entry whose region misses the query
                 # can be pruned — the §9 improvement.
-                idx = self._select_inner_entries(pid, node, rect)
-                if idx is None:
-                    for entry in node.entries:
-                        if not blocks.block_rect(entry.bits, self.dims).intersects(rect):
-                            continue
-                        if self.minimal_regions and (
-                            entry.mbr is None or not entry.mbr.intersects(rect)
-                        ):
-                            continue
-                        stack.append(entry.pid)
-                else:
-                    entries = node.entries
-                    for i in idx:
-                        stack.append(entries[i].pid)
+                for entry in node.entries:
+                    if not blocks.block_rect(entry.bits, self.dims).intersects(rect):
+                        continue
+                    if self.minimal_regions and (
+                        entry.mbr is None or not entry.mbr.intersects(rect)
+                    ):
+                        continue
+                    stack.append(entry.pid)
         return result
 
-    def _select_inner_entries(self, pid: int, node: "_DirNode", rect: Rect):
-        """Vectorized inner-entry pruning; ``None`` → scalar fallback.
-
-        The block rectangles always gate descent; with minimal regions an
-        entry additionally needs an MBR that meets the query (entries
-        without an MBR are represented as NaN rows, which never match).
-        """
-        entries = node.entries
-        idx = scan.select_boxes(
-            self.store, pid, "blocks", len(entries),
-            lambda: [blocks.block_rect(e.bits, self.dims) for e in entries],
-            "isect", rect,
-        )
-        if idx is None or not self.minimal_regions:
-            return idx
-
-        def mbr_bounds():
-            lo = np.full((len(entries), self.dims), np.nan)
-            hi = np.full((len(entries), self.dims), np.nan)
-            for i, entry in enumerate(entries):
-                if entry.mbr is not None:
-                    lo[i] = entry.mbr.lo
-                    hi[i] = entry.mbr.hi
-            return lo, hi
-
-        mbr_idx = scan.select_bounds(
-            self.store, pid, "mbrs", len(entries), mbr_bounds, "isect", rect
-        )
-        # Both index lists are ascending, so filtering one by membership in
-        # the other preserves the scalar visit order.
-        hits = set(mbr_idx)
-        return [i for i in idx if i in hits]
-
-    def _relevant_data_entries(
-        self, pid: int, leaf: _DirNode, rect: Rect
+    def _relevant_data_entries_scalar(
+        self, leaf: _DirNode, rect: Rect
     ) -> list[_Entry]:
         """Data entries to read: the block overlaps the query and the
         overlap is not entirely covered by sibling data blocks nested
         inside it (records in the covered part live on those pages)."""
         entries = leaf.entries
-        if self.store.columnar is None:
-            out = []
-            for entry in entries:
-                if self.minimal_regions and (
-                    entry.mbr is None or not entry.mbr.intersects(rect)
-                ):
-                    continue
-                block = blocks.block_rect(entry.bits, self.dims)
-                overlap = block.intersection(rect)
-                if overlap is None:
-                    continue
-                nested = [
-                    blocks.block_rect(other.bits, self.dims)
-                    for other in entries
-                    if other is not entry
-                    and len(other.bits) > len(entry.bits)
-                    and blocks.is_prefix(entry.bits, other.bits)
-                ]
-                if nested and is_covered(overlap, nested):
-                    continue
-                out.append(entry)
-            return out
-        # Vectorized leaf scan: the block and MBR intersect gates run
-        # through the batched select helpers (same verdicts as the scalar
-        # gates above — ``Rect.intersection`` is None exactly when the
-        # closed boxes are disjoint), and the query-independent nesting
-        # structure of the leaf is cached per page (invalidated through
-        # the store's write/free hooks like every columnar array).
-        n = len(entries)
-        idx = scan.select_boxes(
-            self.store, pid, "blocks", n,
-            lambda: [blocks.block_rect(e.bits, self.dims) for e in entries],
-            "isect", rect,
-        )
-        if self.minimal_regions:
-
-            def mbr_bounds():
-                lo = np.full((n, self.dims), np.nan)
-                hi = np.full((n, self.dims), np.nan)
-                for i, entry in enumerate(entries):
-                    if entry.mbr is not None:
-                        lo[i] = entry.mbr.lo
-                        hi[i] = entry.mbr.hi
-                return lo, hi
-
-            mbr_idx = scan.select_bounds(
-                self.store, pid, "mbrs", n, mbr_bounds, "isect", rect
-            )
-            hits = set(mbr_idx)
-            idx = [i for i in idx if i in hits]
-        info = self._leaf_scan_info(pid, entries)
         out = []
-        for i in idx:
-            slot = info[i]
-            nested = slot[1]
-            if nested:
-                block = slot[0]
-                overlap = block.intersection(rect)
-                if overlap == block:
-                    # The whole block falls inside the query: its coverage
-                    # by nested siblings is query-independent, so the
-                    # verdict is computed once per page and memoised.
-                    covered = slot[2]
-                    if covered is None:
-                        covered = slot[2] = is_covered(block, nested)
-                else:
-                    covered = is_covered(overlap, nested)
-                if covered:
-                    continue
-            out.append(entries[i])
+        for entry in entries:
+            if self.minimal_regions and (
+                entry.mbr is None or not entry.mbr.intersects(rect)
+            ):
+                continue
+            block = blocks.block_rect(entry.bits, self.dims)
+            overlap = block.intersection(rect)
+            if overlap is None:
+                continue
+            nested = [
+                blocks.block_rect(other.bits, self.dims)
+                for other in entries
+                if other is not entry
+                and len(other.bits) > len(entry.bits)
+                and blocks.is_prefix(entry.bits, other.bits)
+            ]
+            if nested and is_covered(overlap, nested):
+                continue
+            out.append(entry)
         return out
-
-    def _leaf_scan_info(self, pid: int, entries) -> list:
-        """Per-entry ``[block rect, nested sibling blocks, coverage]`` of a
-        leaf, cached on the columnar cache (callers ensure it exists).
-
-        The nesting structure depends only on the page's entries, never on
-        the query, so one O(entries^2) pass serves every later query until
-        the page is written.  The third slot lazily memoises the
-        "full block covered by nested siblings" verdict.
-        """
-        pages = self.store.columnar._pages
-        page = pages.get(pid)
-        if page is None:
-            page = pages[pid] = {}
-        info = page.get("bang:nested")
-        if info is None or len(info) != len(entries):
-            dims = self.dims
-            rects_ = [blocks.block_rect(e.bits, dims) for e in entries]
-            info = []
-            for j, entry in enumerate(entries):
-                bits = entry.bits
-                depth = len(bits)
-                nested = [
-                    rects_[k]
-                    for k, other in enumerate(entries)
-                    if other is not entry
-                    and len(other.bits) > depth
-                    and blocks.is_prefix(bits, other.bits)
-                ]
-                info.append([rects_[j], nested, None])
-            page["bang:nested"] = info
-        return info
 
     def _exact_match(self, point: tuple[float, ...]) -> list[object]:
         pid = self._search_data_page(point, prune=True)

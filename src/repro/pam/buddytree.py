@@ -31,7 +31,10 @@ from repro.geometry.rect import Rect
 from repro.storage import layout
 from repro.storage.page import PageKind
 from repro.storage.pagestore import PageStore
-from repro.query import scan
+import numpy as np
+
+from repro.query import traverse
+from repro.storage.soa import fused_points, soa_field
 
 __all__ = ["BuddyTree"]
 
@@ -54,7 +57,9 @@ class _Entry:
 class _DirNode:
     """A directory page: a list of entries with pairwise disjoint regions."""
 
-    __slots__ = ("entries",)
+    __slots__ = ("_soa_entries",)
+
+    entries = soa_field()
 
     def __init__(self, entries: list[_Entry]):
         self.entries = entries
@@ -63,10 +68,19 @@ class _DirNode:
 class _DataPage:
     """A data page: the records of one minimal bounding rectangle."""
 
-    __slots__ = ("records",)
+    __slots__ = ("_soa_records",)
+
+    records = soa_field()
 
     def __init__(self, records: list[tuple[tuple[float, ...], object]] | None = None):
         self.records = records if records is not None else []
+
+
+def _entry_boxes_cover(lst) -> "np.ndarray":
+    """``[lo, -hi]`` fused rows over a directory page's entry MBRs."""
+    lo = np.array([e.rect.lo for e in lst], dtype=float)
+    hi = np.array([e.rect.hi for e in lst], dtype=float)
+    return np.concatenate([lo, -hi], axis=1)
 
 
 class BuddyTree(PointAccessMethod):
@@ -251,6 +265,7 @@ class BuddyTree(PointAccessMethod):
             page: _DataPage = self.store.read(entry.pid)
             page.records.append((point, rid))
             entry.rect = entry.rect.expanded_to_point(point)
+            node.entries.touch()
             if len(page.records) > self._capacity:
                 self._split_data_entry(node, entry, page)
             else:
@@ -260,6 +275,7 @@ class BuddyTree(PointAccessMethod):
                 entry.pid, point, rid, at_root=False, depth=depth + 1
             )
             entry.rect = child_mbr
+            node.entries.touch()
             child: _DirNode = self.store._objects[entry.pid]
             if self._node_overflowed(child):
                 self._split_dir_entry(node, entry, child)
@@ -370,6 +386,7 @@ class BuddyTree(PointAccessMethod):
         lower, upper, lo_mbr, hi_mbr = parts
         page.records = lower
         entry.rect = lo_mbr
+        node.entries.touch()
         new_pid = self.store.allocate(PageKind.DATA, _DataPage(upper))
         node.entries.append(_Entry(hi_mbr, new_pid, True))
         self.store.write(entry.pid)
@@ -505,6 +522,135 @@ class BuddyTree(PointAccessMethod):
     # -- queries ---------------------------------------------------------------------
 
     def _range_query(self, rect: Rect) -> list[tuple[tuple[float, ...], object]]:
+        store = self.store
+        if store.columnar is None:
+            return self._range_query_scalar(rect)
+        # Plan: level-at-a-time over uncharged views; all cold pages of a
+        # level share one fused kernel call (see repro.query.traverse).
+        # Property 4 lets several entries of one directory page share a
+        # data page, so the frontier dedups pids exactly like the scalar
+        # path's seen_data set — set membership is order-independent.
+        objects = store._objects
+        src = traverse.RowSource(store.columnar, rect)
+        row_of = src.row
+        # Promoted pages answer straight from the workload's CSR verdicts;
+        # probing them inline skips the RowSource call for the common case
+        # (the rows are the same lists row() would return).
+        workload = src.workload
+        hot = workload._rows if workload is not None else None
+        qi = workload.index if workload is not None else -1
+        verdicts: dict[int, list] = {}
+        # Directory pages keep their expanded (child pid, is_data) pairs:
+        # the plan partitions them into the next frontier and the replay
+        # re-walks the same pairs, so entries are decoded exactly once.
+        expansion: dict[int, list] = {}
+        planned: set[int] = {self._root_pid}
+        dir_level: list[int] = []
+        data_level: list[int] = []
+        (data_level if self._root_is_data else dir_level).append(self._root_pid)
+
+        def expand(pid: int, row: list, nxt_dir: list, nxt_data: list) -> None:
+            entries = objects[pid].entries
+            kids = expansion[pid] = []
+            for i in row:
+                e = entries[i]
+                cpid = e.pid
+                is_data = e.is_data
+                kids.append((cpid, is_data))
+                if cpid in planned:
+                    continue
+                planned.add(cpid)
+                (nxt_data if is_data else nxt_dir).append(cpid)
+
+        while dir_level or data_level:
+            nxt_dir: list[int] = []
+            nxt_data: list[int] = []
+            deferred_dir: list[int] = []
+            deferred_data: list[int] = []
+            for pid in dir_level:
+                entries = objects[pid].entries
+                if not entries:
+                    verdicts[pid] = traverse._EMPTY_ROW
+                    expansion[pid] = traverse._EMPTY_ROW
+                    continue
+                row = None
+                if hot is not None:
+                    entry = hot.get((pid, "entries:isect"))
+                    if entry is not None:
+                        starts, cols = entry
+                        s = starts[qi]
+                        e = starts[qi + 1]
+                        if e == s:
+                            verdicts[pid] = traverse._EMPTY_ROW
+                            expansion[pid] = traverse._EMPTY_ROW
+                            continue
+                        row = cols[s:e].tolist()
+                if row is None:
+                    row = row_of(
+                        pid, "entries:isect", "isect",
+                        entries, "entries:cover", _entry_boxes_cover,
+                    )
+                if row is None:
+                    deferred_dir.append(pid)
+                else:
+                    verdicts[pid] = row
+                    expand(pid, row, nxt_dir, nxt_data)
+            for pid in data_level:
+                records = objects[pid].records
+                if not records:
+                    verdicts[pid] = traverse._EMPTY_ROW
+                    continue
+                row = None
+                if hot is not None:
+                    entry = hot.get((pid, "pts"))
+                    if entry is not None:
+                        starts, cols = entry
+                        s = starts[qi]
+                        e = starts[qi + 1]
+                        if e == s:
+                            verdicts[pid] = traverse._EMPTY_ROW
+                            continue
+                        row = cols[s:e].tolist()
+                if row is None:
+                    row = row_of(pid, "pts", "pts", records, "pts", fused_points)
+                if row is None:
+                    deferred_data.append(pid)
+                else:
+                    verdicts[pid] = row
+            if deferred_dir or deferred_data:
+                rows = src.flush()
+                for pid in deferred_data:
+                    verdicts[pid] = rows[(pid, "pts")]
+                for pid in deferred_dir:
+                    row = verdicts[pid] = rows[(pid, "entries:isect")]
+                    expand(pid, row, nxt_dir, nxt_data)
+            dir_level, data_level = nxt_dir, nxt_data
+        # Replay: the original preorder descent with charged reads and
+        # the scalar seen_data dedup order (explicit stack, children
+        # pushed reversed, so the visit order matches the recursion).
+        result: list[tuple[tuple[float, ...], object]] = []
+        seen_data: set[int] = set()
+        read = store.read
+        stack = [(self._root_pid, self._root_is_data)]
+        while stack:
+            pid, is_data = stack.pop()
+            if is_data:
+                if pid in seen_data:
+                    continue
+                seen_data.add(pid)
+                records = read(pid).records
+                row = verdicts[pid]
+                if row:
+                    result.extend([records[i] for i in row])
+            else:
+                read(pid)
+                stack.extend(reversed(expansion[pid]))
+        return result
+
+    def _range_query_scalar(
+        self, rect: Rect
+    ) -> list[tuple[tuple[float, ...], object]]:
+        """The original scalar descent (the ``REPRO_VECTOR=0`` kill switch)."""
         result: list[tuple[tuple[float, ...], object]] = []
         seen_data: set[int] = set()
 
@@ -514,21 +660,13 @@ class BuddyTree(PointAccessMethod):
                     return
                 seen_data.add(pid)
                 page: _DataPage = self.store.read(pid)
-                result.extend(scan.match_records(self.store, pid, page.records, rect))
+                result.extend(
+                    rec for rec in page.records if rect.contains_point(rec[0])
+                )
                 return
             node: _DirNode = self.store.read(pid)
-            entries = node.entries
-            idx = scan.select_boxes(
-                self.store, pid, "entries", len(entries),
-                lambda: [e.rect for e in entries], "isect", rect,
-            )
-            if idx is None:
-                for entry in entries:
-                    if entry.rect.intersects(rect):
-                        visit(entry.pid, entry.is_data)
-            else:
-                for i in idx:
-                    entry = entries[i]
+            for entry in node.entries:
+                if entry.rect.intersects(rect):
                     visit(entry.pid, entry.is_data)
 
         visit(self._root_pid, self._root_is_data)
@@ -608,6 +746,7 @@ class BuddyTree(PointAccessMethod):
                     continue
                 if page.records:
                     entry.rect = Rect.bounding_points([p for p, _ in page.records])
+                    node.entries.touch()
                     self.store.write(entry.pid)
                 else:
                     self.store.free(entry.pid)
@@ -624,6 +763,7 @@ class BuddyTree(PointAccessMethod):
                     node.entries.remove(entry)
                 else:
                     entry.rect = Rect.bounding([e.rect for e in child.entries])
+                    node.entries.touch()
             self.store.write(pid)
             return True
         return False
@@ -689,6 +829,7 @@ class BuddyTree(PointAccessMethod):
         sharers = [e for e in node.entries if e.is_data and e.pid == entry.pid]
         for dropped in self._unshare(sharers, page):
             node.entries.remove(dropped)
+        node.entries.touch()  # _unshare rebinds surviving sharers' MBRs
 
     def _unshare(self, sharers: list[_Entry], page: _DataPage) -> list[_Entry]:
         """Give every sharer its own page again; returns dropped entries.

@@ -27,7 +27,8 @@ from repro.geometry.rect import Rect
 from repro.storage import layout
 from repro.storage.page import PageKind
 from repro.storage.pagestore import PageStore
-from repro.query import scan
+from repro.query import traverse
+from repro.storage.soa import soa_field
 
 __all__ = ["GridFile"]
 
@@ -317,7 +318,9 @@ class _GridLayer:
 class _DataPage:
     """A grid-file data page: a list of ``(point, rid)`` records."""
 
-    __slots__ = ("records",)
+    __slots__ = ("_soa_records",)
+
+    records = soa_field()
 
     def __init__(self) -> None:
         self.records: list[tuple[tuple[float, ...], object]] = []
@@ -478,10 +481,23 @@ class GridFile(PointAccessMethod):
         for dpid in touched_dir:
             self.store.read(dpid)
         result = []
-        vector = self.store.columnar is not None
-        for pid in self._layer.payloads_in_rect(rect, vector=vector):
-            page: _DataPage = self.store.read(pid)
-            result.extend(scan.match_records(self.store, pid, page.records, rect))
+        store = self.store
+        vector = store.columnar is not None
+        pids = self._layer.payloads_in_rect(rect, vector=vector)
+        if not vector:
+            for pid in pids:
+                page: _DataPage = store.read(pid)
+                result.extend(
+                    rec for rec in page.records if rect.contains_point(rec[0])
+                )
+            return result
+        # Read-then-batch: the candidate set is content-independent, so
+        # the pages are read in the original (charged) order first and
+        # every cold page rides one fused kernel call.
+        pages = [(pid, store.read(pid).records) for pid in pids]
+        rows = traverse.data_hit_rows(store, rect, pages)
+        for pid, records in pages:
+            result.extend([records[i] for i in rows[pid]])
         return result
 
     def _exact_match(self, point: tuple[float, ...]) -> list[object]:

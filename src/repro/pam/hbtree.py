@@ -39,7 +39,8 @@ from repro.geometry.rect import Rect
 from repro.storage import layout
 from repro.storage.page import PageKind
 from repro.storage.pagestore import PageStore
-from repro.query import scan
+from repro.query import traverse
+from repro.storage.soa import fused_points, soa_field
 
 __all__ = ["HBTree"]
 
@@ -95,7 +96,9 @@ class _IndexNode:
 class _DataNode:
     """An hB-tree data page."""
 
-    __slots__ = ("records",)
+    __slots__ = ("_soa_records",)
+
+    records = soa_field()
 
     def __init__(self, records: list[tuple[tuple[float, ...], object]] | None = None):
         self.records = records if records is not None else []
@@ -611,7 +614,99 @@ class HBTree(PointAccessMethod):
 
     # -- queries ----------------------------------------------------------------------
 
+    def _kd_children(self, kd_root: _Kd, rect: Rect) -> list[tuple[int, bool]]:
+        """The kd-tree leaves of one index node a range query descends to.
+
+        Purely structural — the walk prunes on the query box against the
+        split coordinates (and the optional §5 MBRs), never on page
+        contents, so plan and replay agree by construction.
+        """
+        children: list[tuple[int, bool]] = []
+        minimal = self.minimal_regions
+
+        def collect(kd: _Kd) -> None:
+            if kd.kind == _INTERNAL:
+                if rect.lo[kd.axis] < kd.coord:
+                    collect(kd.left)
+                if rect.hi[kd.axis] >= kd.coord:
+                    collect(kd.right)
+            elif kd.kind == _LEAF:
+                if minimal and (kd.mbr is None or not kd.mbr.intersects(rect)):
+                    return
+                children.append((kd.pid, kd.is_data))
+
+        collect(kd_root)
+        return children
+
     def _range_query(self, rect: Rect) -> list[tuple[tuple[float, ...], object]]:
+        store = self.store
+        if store.columnar is None:
+            return self._range_query_scalar(rect)
+        # Plan: level-at-a-time over uncharged views.  Directory pruning
+        # is the (scalar) kd-tree walk — run once per node here, reused by
+        # the replay — and all cold data pages of a level share one fused
+        # kernel call (see repro.query.traverse).  hB-tree kd leaves may
+        # share children, so the frontier dedups pids like the scalar
+        # path's seen set.
+        objects = store._objects
+        src = traverse.RowSource(store.columnar, rect)
+        row_of = src.row
+        verdicts: dict[int, list] = {}
+        kids: dict[int, list[tuple[int, bool]]] = {}
+        planned: set[int] = {self._root_pid}
+        dir_level: list[int] = []
+        data_level: list[int] = []
+        (data_level if self._root_is_data else dir_level).append(self._root_pid)
+        while dir_level or data_level:
+            nxt_dir: list[int] = []
+            nxt_data: list[int] = []
+            deferred: list[int] = []
+            for pid in dir_level:
+                children = kids[pid] = self._kd_children(objects[pid].kd, rect)
+                for cpid, is_data in children:
+                    if cpid in planned:
+                        continue
+                    planned.add(cpid)
+                    (nxt_data if is_data else nxt_dir).append(cpid)
+            for pid in data_level:
+                records = objects[pid].records
+                if not records:
+                    verdicts[pid] = traverse._EMPTY_ROW
+                    continue
+                row = row_of(pid, "pts", "pts", records, "pts", fused_points)
+                if row is None:
+                    deferred.append(pid)
+                else:
+                    verdicts[pid] = row
+            if deferred:
+                rows = src.flush()
+                for pid in deferred:
+                    verdicts[pid] = rows[(pid, "pts")]
+            dir_level, data_level = nxt_dir, nxt_data
+        # Replay: the original preorder descent with charged reads.
+        result: list[tuple[tuple[float, ...], object]] = []
+        seen: set[int] = set()
+        read = store.read
+
+        def visit(pid: int, is_data: bool) -> None:
+            if pid in seen:
+                return
+            seen.add(pid)
+            if is_data:
+                records = read(pid).records
+                result.extend([records[i] for i in verdicts[pid]])
+                return
+            read(pid)
+            for child_pid, child_is_data in kids[pid]:
+                visit(child_pid, child_is_data)
+
+        visit(self._root_pid, self._root_is_data)
+        return result
+
+    def _range_query_scalar(
+        self, rect: Rect
+    ) -> list[tuple[tuple[float, ...], object]]:
+        """The original scalar descent (the ``REPRO_VECTOR=0`` kill switch)."""
         result: list[tuple[tuple[float, ...], object]] = []
         seen: set[int] = set()
 
@@ -621,32 +716,12 @@ class HBTree(PointAccessMethod):
             seen.add(pid)
             if is_data:
                 data: _DataNode = self.store.read(pid)
-                result.extend(scan.match_records(self.store, pid, data.records, rect))
+                result.extend(
+                    rec for rec in data.records if rect.contains_point(rec[0])
+                )
                 return
             node: _IndexNode = self.store.read(pid)
-            children: list[tuple[int, bool]] = []
-
-            def collect(kd: _Kd, lo: list[float], hi: list[float]) -> None:
-                if kd.kind == _INTERNAL:
-                    if rect.lo[kd.axis] < kd.coord:
-                        saved = hi[kd.axis]
-                        hi[kd.axis] = min(hi[kd.axis], kd.coord)
-                        collect(kd.left, lo, hi)
-                        hi[kd.axis] = saved
-                    if rect.hi[kd.axis] >= kd.coord:
-                        saved = lo[kd.axis]
-                        lo[kd.axis] = max(lo[kd.axis], kd.coord)
-                        collect(kd.right, lo, hi)
-                        lo[kd.axis] = saved
-                elif kd.kind == _LEAF:
-                    if self.minimal_regions and (
-                        kd.mbr is None or not kd.mbr.intersects(rect)
-                    ):
-                        return
-                    children.append((kd.pid, kd.is_data))
-
-            collect(node.kd, [0.0] * self.dims, [1.0] * self.dims)
-            for child_pid, child_is_data in children:
+            for child_pid, child_is_data in self._kd_children(node.kd, rect):
                 visit(child_pid, child_is_data)
 
         visit(self._root_pid, self._root_is_data)

@@ -22,15 +22,18 @@ from repro.geometry.rect import Rect
 from repro.storage import layout
 from repro.storage.page import PageKind
 from repro.storage.pagestore import PageStore
-from repro.query import scan
+from repro.query import traverse
+from repro.storage.soa import fused_points, soa_field
 
 __all__ = ["KdBTree"]
 
 
 class _PointPage:
-    """A leaf: records of one rectangular region."""
+    """A leaf: records of one rectangular region (struct-of-arrays)."""
 
-    __slots__ = ("records",)
+    __slots__ = ("_soa_records",)
+
+    records = soa_field()
 
     def __init__(self, records=None):
         self.records: list[tuple[tuple[float, ...], object]] = records or []
@@ -39,7 +42,9 @@ class _PointPage:
 class _RegionPage:
     """An inner page: child regions partitioning this page's region."""
 
-    __slots__ = ("rects", "pids", "leaf_children")
+    __slots__ = ("_soa_rects", "pids", "leaf_children")
+
+    rects = soa_field()
 
     def __init__(self, rects=None, pids=None, leaf_children=True):
         self.rects: list[Rect] = rects or []
@@ -351,26 +356,90 @@ class KdBTree(PointAccessMethod):
     # -- queries ----------------------------------------------------------------------
 
     def _range_query(self, rect: Rect) -> list[tuple[tuple[float, ...], object]]:
+        store = self.store
+        if store.columnar is None:
+            return self._range_query_scalar(rect)
+        # Plan: level-at-a-time over uncharged views, one fused kernel
+        # call per level for all cold pages (see repro.query.traverse).
+        objects = store._objects
+        src = traverse.RowSource(store.columnar, rect)
+        row_of = src.row
+        region_tag, region_build = traverse.box_view("isect")
+        verdicts: dict[int, list] = {}
+        level = [(self._root_pid, self._root_is_leaf)]
+        while level:
+            nxt: list = []
+            deferred: list = []
+            for pid, is_leaf in level:
+                if is_leaf:
+                    records = objects[pid].records
+                    if not records:
+                        verdicts[pid] = traverse._EMPTY_ROW
+                        continue
+                    row = row_of(pid, "pts", "pts", records, "pts", fused_points)
+                    if row is None:
+                        deferred.append((pid, True))
+                    else:
+                        verdicts[pid] = row
+                    continue
+                node = objects[pid]
+                if not node.rects:
+                    verdicts[pid] = traverse._EMPTY_ROW
+                    continue
+                row = row_of(
+                    pid, "regions:isect", "isect", node.rects, region_tag, region_build
+                )
+                if row is None:
+                    deferred.append((pid, False))
+                else:
+                    verdicts[pid] = row
+                    pids = node.pids
+                    nxt.extend([(pids[i], node.leaf_children) for i in row])
+            if deferred:
+                rows = src.flush()
+                for pid, is_leaf in deferred:
+                    row = verdicts[pid] = rows[
+                        (pid, "pts" if is_leaf else "regions:isect")
+                    ]
+                    if not is_leaf:
+                        node = objects[pid]
+                        pids = node.pids
+                        nxt.extend([(pids[i], node.leaf_children) for i in row])
+            level = nxt
+        # Replay: the original descent order with charged reads.
+        result: list[tuple[tuple[float, ...], object]] = []
+        read = store.read
+        stack = [(self._root_pid, self._root_is_leaf)]
+        while stack:
+            pid, is_leaf = stack.pop()
+            if is_leaf:
+                records = read(pid).records
+                result.extend([records[i] for i in verdicts[pid]])
+            else:
+                node = read(pid)
+                pids = node.pids
+                leaf = node.leaf_children
+                stack.extend((pids[i], leaf) for i in verdicts[pid])
+        return result
+
+    def _range_query_scalar(
+        self, rect: Rect
+    ) -> list[tuple[tuple[float, ...], object]]:
+        """The original scalar descent (the ``REPRO_VECTOR=0`` kill switch)."""
         result: list[tuple[tuple[float, ...], object]] = []
         stack = [(self._root_pid, self._root_is_leaf)]
         while stack:
             pid, is_leaf = stack.pop()
             if is_leaf:
                 page: _PointPage = self.store.read(pid)
-                result.extend(scan.match_records(self.store, pid, page.records, rect))
+                result.extend(
+                    rec for rec in page.records if rect.contains_point(rec[0])
+                )
                 continue
             node: _RegionPage = self.store.read(pid)
-            idx = scan.select_boxes(
-                self.store, pid, "regions", len(node.rects),
-                lambda: node.rects, "isect", rect,
-            )
-            if idx is None:
-                for region, child in zip(node.rects, node.pids):
-                    if region.intersects(rect):
-                        stack.append((child, node.leaf_children))
-            else:
-                for i in idx:
-                    stack.append((node.pids[i], node.leaf_children))
+            for region, child in zip(node.rects, node.pids):
+                if region.intersects(rect):
+                    stack.append((child, node.leaf_children))
         return result
 
     def _exact_match(self, point: tuple[float, ...]) -> list[object]:

@@ -26,7 +26,8 @@ from repro.geometry.rect import Rect
 from repro.storage import layout
 from repro.storage.page import PageKind
 from repro.storage.pagestore import PageStore
-from repro.query import scan
+from repro.query import traverse
+from repro.storage.soa import soa_field
 
 __all__ = ["PlopHashing", "QuantileHashing"]
 
@@ -37,7 +38,9 @@ _EXPANSION_LOAD = 0.8
 class _PlopPage:
     """A primary or overflow page of one bucket chain."""
 
-    __slots__ = ("records",)
+    __slots__ = ("_soa_records",)
+
+    records = soa_field()
 
     def __init__(self) -> None:
         self.records: list[tuple[tuple[float, ...], object]] = []
@@ -301,10 +304,18 @@ class PlopHashing(PointAccessMethod):
             for axis in range(self.dims)
         ]
         result = []
+        store = self.store
+        vector = store.columnar is not None
+        pages = [] if vector else None
         idx = [r.start for r in ranges]
         while True:
             for pid, records in self._grid.iter_chain_pages(tuple(idx)):
-                result.extend(scan.match_records(self.store, pid, records, rect))
+                if vector:
+                    pages.append((pid, records))
+                else:
+                    result.extend(
+                        rec for rec in records if rect.contains_point(rec[0])
+                    )
             axis = 0
             while axis < self.dims:
                 idx[axis] += 1
@@ -313,7 +324,14 @@ class PlopHashing(PointAccessMethod):
                 idx[axis] = ranges[axis].start
                 axis += 1
             if axis == self.dims:
-                return result
+                break
+        if vector:
+            # Read-then-batch: chains were read in the original order
+            # above; evaluate every cold page in one fused kernel call.
+            rows = traverse.data_hit_rows(store, rect, pages)
+            for pid, records in pages:
+                result.extend([records[i] for i in rows[pid]])
+        return result
 
     def _exact_match(self, point: tuple[float, ...]) -> list[object]:
         records = self._grid.read_chain(self._grid.address(point))

@@ -25,7 +25,7 @@ from repro.pam.gridfile import _DataPage, _GridLayer
 from repro.storage import layout
 from repro.storage.page import PageKind
 from repro.storage.pagestore import PageStore
-from repro.query import scan
+from repro.query import traverse
 
 __all__ = ["TwinGridFile"]
 
@@ -223,11 +223,22 @@ class TwinGridFile(PointAccessMethod):
                     break
             for dpid in touched:
                 self.store.read(dpid)
-            for pid in layer.payloads_in_rect(
-                rect, vector=self.store.columnar is not None
-            ):
-                page: _DataPage = self.store.read(pid)
-                result.extend(scan.match_records(self.store, pid, page.records, rect))
+            store = self.store
+            pids = layer.payloads_in_rect(rect, vector=store.columnar is not None)
+            if store.columnar is None:
+                for pid in pids:
+                    page: _DataPage = store.read(pid)
+                    result.extend(
+                        rec for rec in page.records if rect.contains_point(rec[0])
+                    )
+                continue
+            # Read-then-batch: candidate pages are content-independent,
+            # so read them in the original order, then evaluate every
+            # cold page of the layer in one fused kernel call.
+            pages = [(pid, store.read(pid).records) for pid in pids]
+            rows = traverse.data_hit_rows(store, rect, pages)
+            for pid, records in pages:
+                result.extend([records[i] for i in rows[pid]])
         return result
 
     def _exact_match(self, point: tuple[float, ...]) -> list[object]:

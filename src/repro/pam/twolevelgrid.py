@@ -26,7 +26,7 @@ from repro.pam.gridfile import _DataPage, _GridLayer
 from repro.storage import layout
 from repro.storage.page import PageKind
 from repro.storage.pagestore import PageStore
-from repro.query import scan
+from repro.query import traverse
 
 __all__ = ["TwoLevelGridFile"]
 
@@ -257,12 +257,28 @@ class TwoLevelGridFile(PointAccessMethod):
 
     def _range_query(self, rect: Rect) -> list[tuple[tuple[float, ...], object]]:
         result = []
-        vector = self.store.columnar is not None
-        for spid in self._root.payloads_in_rect(rect, vector=vector):
-            subgrid: _SubGrid = self.store.read(spid)
-            for dpid in subgrid.layer.payloads_in_rect(rect, vector=vector):
-                page: _DataPage = self.store.read(dpid)
-                result.extend(scan.match_records(self.store, dpid, page.records, rect))
+        store = self.store
+        vector = store.columnar is not None
+        if not vector:
+            for spid in self._root.payloads_in_rect(rect, vector=False):
+                subgrid: _SubGrid = store.read(spid)
+                for dpid in subgrid.layer.payloads_in_rect(rect, vector=False):
+                    page: _DataPage = store.read(dpid)
+                    result.extend(
+                        rec for rec in page.records if rect.contains_point(rec[0])
+                    )
+            return result
+        # Read-then-batch: the visit set depends only on the directory
+        # grids, so all data pages are read in the original (charged)
+        # order, then evaluated in one fused kernel call.
+        pages = []
+        for spid in self._root.payloads_in_rect(rect, vector=True):
+            subgrid: _SubGrid = store.read(spid)
+            for dpid in subgrid.layer.payloads_in_rect(rect, vector=True):
+                pages.append((dpid, store.read(dpid).records))
+        rows = traverse.data_hit_rows(store, rect, pages)
+        for dpid, records in pages:
+            result.extend([records[i] for i in rows[dpid]])
         return result
 
     def _exact_match(self, point: tuple[float, ...]) -> list[object]:

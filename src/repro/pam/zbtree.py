@@ -24,7 +24,8 @@ from repro.geometry.zorder import decompose_rect, z_interval, z_value
 from repro.storage import layout
 from repro.storage.page import PageKind
 from repro.storage.pagestore import PageStore
-from repro.query import scan
+from repro.query import traverse
+from repro.storage.soa import fused_points, soa_field
 
 __all__ = ["ZOrderBTree"]
 
@@ -35,7 +36,9 @@ Z_BITS_PER_AXIS = 16
 class _Leaf:
     """A leaf page: sorted ``(key, value)`` pairs plus a next-leaf link."""
 
-    __slots__ = ("keys", "values", "next_pid")
+    __slots__ = ("keys", "_soa_values", "next_pid")
+
+    values = soa_field()
 
     def __init__(self) -> None:
         self.keys: list = []
@@ -304,14 +307,43 @@ class ZOrderBTree(PointAccessMethod):
         self._tree.insert(self._z(point), (point, rid))
 
     def _range_query(self, rect: Rect) -> list[tuple[tuple[float, ...], object]]:
-        result = []
+        store = self.store
         max_depth = min(self.dims * Z_BITS_PER_AXIS, 20)
-        for bits in decompose_rect(rect, self.dims, self.query_regions, max_depth):
+        regions = decompose_rect(rect, self.dims, self.query_regions, max_depth)
+        if store.columnar is None:
+            result = []
+            for bits in regions:
+                lo, hi = z_interval(bits, self.dims, Z_BITS_PER_AXIS)
+                for pid, leaf, start, stop in self._tree.scan_pages(lo, hi):
+                    result.extend(
+                        rec
+                        for rec in leaf.values[start:stop]
+                        if rect.contains_point(rec[0])
+                    )
+            return result
+        # Read-then-batch: the z-interval leaf scans charge their reads in
+        # the original order while only *collecting* (page, slice) visits;
+        # all cold pages then share one fused kernel call, and the hit
+        # rows are sliced per visit afterwards.
+        src = traverse.RowSource(store.columnar, rect)
+        row_of = src.row
+        visits: list[tuple[int, list, int, int]] = []
+        for bits in regions:
             lo, hi = z_interval(bits, self.dims, Z_BITS_PER_AXIS)
             for pid, leaf, start, stop in self._tree.scan_pages(lo, hi):
-                result.extend(
-                    scan.match_records(self.store, pid, leaf.values, rect, start, stop)
-                )
+                values = leaf.values
+                if not values:
+                    continue
+                row_of(pid, "pts", "pts", values, "pts", fused_points)
+                visits.append((pid, values, start, stop))
+        rows = src.flush()
+        result = []
+        for pid, values, start, stop in visits:
+            row = rows[(pid, "pts")]
+            if start or stop != len(values):
+                result.extend([values[i] for i in row if start <= i < stop])
+            else:
+                result.extend([values[i] for i in row])
         return result
 
     def _exact_match(self, point: tuple[float, ...]) -> list[object]:

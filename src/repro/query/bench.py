@@ -148,9 +148,16 @@ def query_pass(
 
 
 def run_identity_matrix(
-    scale: int, page_size: int = 512, seed: int = 4242
+    scale: int, page_size: int = 512, seed: int = 4242, repeat: int = 1
 ) -> tuple[dict, list[str]]:
-    """A/B the whole structure matrix; returns ``(timings, mismatches)``."""
+    """A/B the whole structure matrix; returns ``(timings, mismatches)``.
+
+    ``repeat`` re-times each structure's query phase that many times per
+    mode and keeps the per-structure minimum — outcomes and statistics
+    are compared on the first repetition only (they are deterministic;
+    extra repetitions exist purely to shed scheduler noise from the
+    wall-clock numbers, which matters when CI gates on a speedup floor).
+    """
     points = _point_pool(scale, seed)
     rects = _rect_pool(scale, seed + 1)
     timings: dict[str, dict[str, float]] = {}
@@ -159,6 +166,11 @@ def run_identity_matrix(
         data = points if spec["kind"] == "pam" else rects
         scalar, scalar_s, scalar_stats = query_pass(name, spec, data, page_size, False)
         vector, vector_s, vector_stats = query_pass(name, spec, data, page_size, True)
+        for _ in range(repeat - 1):
+            _, s_again, _ = query_pass(name, spec, data, page_size, False)
+            _, v_again, _ = query_pass(name, spec, data, page_size, True)
+            scalar_s = min(scalar_s, s_again)
+            vector_s = min(vector_s, v_again)
         timings[name] = {
             "scalar_seconds": scalar_s,
             "vector_seconds": vector_s,
@@ -222,6 +234,13 @@ def main(argv: list[str] | None = None) -> int:
         help="bench page size for the timed matrix (identity also runs at 512)",
     )
     parser.add_argument(
+        "--repeat",
+        type=int,
+        default=1,
+        help="time each structure's query phase N times per mode and keep "
+        "the minimum (identity is checked on the first repetition)",
+    )
+    parser.add_argument(
         "--min-speedup",
         type=float,
         default=None,
@@ -251,11 +270,13 @@ def main(argv: list[str] | None = None) -> int:
     out_dir.mkdir(parents=True, exist_ok=True)
     out_path = args.out or out_dir / "BENCH_QUERY.json"
 
-    timings, mismatches = run_identity_matrix(args.scale, args.page_size)
+    timings, mismatches = run_identity_matrix(
+        args.scale, args.page_size, repeat=args.repeat
+    )
     paper_timings: dict[str, dict[str, float]] = {}
     if not args.skip_paper_identity and args.page_size != PAPER_PAGE_SIZE:
         paper_timings, paper_mismatches = run_identity_matrix(
-            args.scale, PAPER_PAGE_SIZE
+            args.scale, PAPER_PAGE_SIZE, repeat=args.repeat
         )
         mismatches += [f"[page {PAPER_PAGE_SIZE}] {m}" for m in paper_mismatches]
 
@@ -274,6 +295,7 @@ def main(argv: list[str] | None = None) -> int:
         "schema": BENCH_SCHEMA,
         "scale": args.scale,
         "page_size": args.page_size,
+        "repeat": args.repeat,
         "paper_page_size": PAPER_PAGE_SIZE,
         "structures": len(timings),
         "driver_structures": list(DRIVER_STRUCTURES),

@@ -27,7 +27,12 @@ import numpy as np
 
 from repro.geometry.rect import Rect
 
-__all__ = ["ColumnarCache", "QueryWorkload", "vector_enabled"]
+__all__ = [
+    "ColumnarCache",
+    "QueryWorkload",
+    "promote_visits_for",
+    "vector_enabled",
+]
 
 _FALSY = ("0", "off", "no", "false")
 
@@ -35,6 +40,32 @@ _FALSY = ("0", "off", "no", "false")
 def vector_enabled() -> bool:
     """Whether new stores get a columnar cache (``REPRO_VECTOR``, default on)."""
     return os.environ.get("REPRO_VECTOR", "").lower() not in _FALSY
+
+
+def promote_visits_for(batch_size: int) -> int:
+    """The visit count at which a page's batch mask is built.
+
+    Defaults to ``max(4, Q // 8)`` — the batch kernel costs roughly
+    ``Q / 10`` single evaluations, so promotion only pays on pages a
+    sizeable fraction of the batch revisits.  ``REPRO_VECTOR_PROMOTE``
+    overrides the threshold outright (a positive integer; tuned runs
+    carry the value in their ledger fingerprint so they never gate
+    against untuned baselines).
+    """
+    raw = os.environ.get("REPRO_VECTOR_PROMOTE", "").strip()
+    if raw:
+        try:
+            value = int(raw)
+        except ValueError:
+            raise ValueError(
+                f"REPRO_VECTOR_PROMOTE must be a positive integer, got {raw!r}"
+            ) from None
+        if value < 1:
+            raise ValueError(
+                f"REPRO_VECTOR_PROMOTE must be a positive integer, got {raw!r}"
+            )
+        return value
+    return max(4, batch_size // 8)
 
 
 #: Fused query-vector builders per op family (see repro.geometry.kernels):
@@ -60,11 +91,12 @@ class QueryWorkload:
     amortises on pages many queries revisit.  A page is therefore *promoted*
     only once its visit count under one tag reaches :attr:`promote_visits`;
     colder pages answer with a single-query fused row.  Promotion runs one
-    ``(Q, n)`` kernel call and keeps the mask; each query's ascending
-    hit-index list is then extracted lazily, at most once, and cached — so
-    revisits of a hot page (including revisits within *one* query, as the
-    z-ordered structures do when a query decomposes into several intervals)
-    are two dict lookups, no NumPy at all.
+    ``(Q, n)`` kernel call and flattens the mask to CSR form — one
+    ``nonzero`` plus one ``searchsorted`` for the whole batch, after which
+    any query's ascending hit-index list is a two-element slice and a
+    ``tolist``.  The per-query memo keeps revisits of a hot page within
+    *one* query (as the z-ordered structures do when a query decomposes
+    into several intervals) at a single dict lookup, no NumPy at all.
     """
 
     __slots__ = (
@@ -75,12 +107,16 @@ class QueryWorkload:
         "current",
         "promote_visits",
         "_qvecs",
+        "_qrange",
         "_rows",
         "_visits",
+        "_hot",
         "_cur",
     )
 
-    def __init__(self, rects: Sequence["Rect | None"]):
+    def __init__(
+        self, rects: Sequence["Rect | None"], hot: "frozenset | None" = None
+    ):
         self.rects = list(rects)
         self.qlo: "np.ndarray | None" = None
         self.qhi: "np.ndarray | None" = None
@@ -97,17 +133,29 @@ class QueryWorkload:
         #: Index of the query currently being executed (set by the driver).
         self.index = -1
         self.current: "Rect | None" = None
-        #: Visits of one (pid, tag) before the batch is evaluated; scales
-        #: with batch size because the batch kernel costs roughly ``Q / 10``
-        #: single-query evaluations, so promotion only pays on pages a
-        #: sizeable fraction of the batch revisits.
-        self.promote_visits = max(4, len(self.rects) // 8)
+        #: Visits of one (pid, tag) before the batch is evaluated (see
+        #: :func:`promote_visits_for`; ``REPRO_VECTOR_PROMOTE`` overrides).
+        self.promote_visits = promote_visits_for(len(self.rects))
         # op -> (Q, 2d) fused query matrix (built lazily per op family).
         self._qvecs: dict[str, np.ndarray] = {}
-        # (pid, tag) -> (batch mask, {query index -> hit-index list}).
+        #: ``arange(Q + 1)`` — the searchsorted probe turning a batch
+        #: mask's nonzero pairs into per-query CSR row offsets.
+        self._qrange = np.arange(len(self.rects) + 1)
+        # (pid, tag) -> (starts, cols): the batch verdict in CSR form —
+        # query i's ascending hit indices are cols[starts[i]:starts[i+1]].
+        # ``starts`` is a plain list: offsets are probed twice per page
+        # visit, and Python-int indexing beats NumPy scalar extraction.
         self._rows: dict[tuple[int, str], tuple] = {}
         # (pid, tag) -> visits answered without a batch evaluation.
         self._visits: dict[tuple[int, str], int] = {}
+        #: Pids that ran hot in an earlier workload of this cache (see
+        #: :meth:`ColumnarCache.end_workload`): promote on first visit
+        #: instead of re-counting — an evaluation hint only, the verdicts
+        #: are computed against *this* workload's queries either way.
+        #: Pid-level on purpose: the per-op tags of one page are probed by
+        #: the same traversals, so heat transfers across query files even
+        #: when the operation (and therefore the row key) changes.
+        self._hot: frozenset = hot if hot is not None else frozenset()
         # (pid, tag) -> hit row of the *current* query only, for structures
         # that revisit one page several times within a single query (the
         # z-ordered methods scan one leaf per z-interval).  Cleared on
@@ -135,31 +183,39 @@ class QueryWorkload:
     def index_row(self, pid: int, tag: str, op: str, fused: "np.ndarray") -> list:
         """Ascending hit indices of page ``pid`` for the current query.
 
-        Answers from the cached per-query index lists when the page is hot,
+        Answers from the promoted page's CSR verdict when the page is hot,
         from a single-query fused row otherwise (see class docstring).
-        Callers must treat the returned list as read-only — hot pages hand
-        out the cached list itself.
+        Callers must treat the returned list as read-only — within-query
+        revisits hand out the cached list itself.
         """
         key = (pid, tag)
+        row = self._cur.get(key)
+        if row is not None:
+            return row
         entry = self._rows.get(key)
         if entry is None:
-            row = self._cur.get(key)
-            if row is not None:
-                return row
             visits = self._visits.get(key, 0) + 1
-            if visits < self.promote_visits:
+            if visits < self.promote_visits and pid not in self._hot:
                 self._visits[key] = visits
-                flags = (fused <= self.qvecs(op)[self.index]).all(axis=1).tolist()
-                row = self._cur[key] = [i for i, hit in enumerate(flags) if hit]
+                mask = (fused <= self.qvecs(op)[self.index]).all(axis=1)
+                row = self._cur[key] = mask.nonzero()[0].tolist()
                 return row
             qvecs = self.qvecs(op)
-            mask = (fused[None, :, :] <= qvecs[:, None, :]).all(axis=2)
-            entry = self._rows[key] = (mask, {})
-        rows = entry[1]
-        row = rows.get(self.index)
-        if row is None:
-            flags = entry[0][self.index].tolist()
-            row = rows[self.index] = [i for i, hit in enumerate(flags) if hit]
+            # Column-AND instead of a (Q, n, 2d) broadcast + reduction:
+            # same exact comparisons, a fraction of the memory traffic.
+            mask = fused[:, 0] <= qvecs[:, 0:1]
+            for j in range(1, fused.shape[1]):
+                mask &= fused[:, j] <= qvecs[:, j : j + 1]
+            qidx, cols = mask.nonzero()
+            entry = self._rows[key] = (
+                np.searchsorted(qidx, self._qrange).tolist(),
+                cols,
+            )
+        starts, cols = entry
+        i = self.index
+        s = starts[i]
+        e = starts[i + 1]
+        row = self._cur[key] = cols[s:e].tolist() if e > s else []
         return row
 
     def invalidate(self, pid: int) -> None:
@@ -175,7 +231,7 @@ class QueryWorkload:
 class ColumnarCache:
     """Per-store cache of columnar page arrays (and the active workload)."""
 
-    __slots__ = ("_pages", "workload")
+    __slots__ = ("_pages", "workload", "_hot_pids")
 
     def __init__(self) -> None:
         # pid -> {tag: arrays}; tags distinguish the different array views
@@ -183,6 +239,11 @@ class ColumnarCache:
         # MBR bounds under separate tags).
         self._pages: dict[int, dict[str, Any]] = {}
         self.workload: "QueryWorkload | None" = None
+        # Pids that ran hot in earlier workloads of this cache; the next
+        # workload promotes them on first visit (comparison drivers run
+        # several query files over one build, and a page hot for one file
+        # is almost always hot for the next).
+        self._hot_pids: set = set()
 
     # -- arrays ----------------------------------------------------------
 
@@ -201,10 +262,12 @@ class ColumnarCache:
         self._pages.pop(pid, None)
         if self.workload is not None:
             self.workload.invalidate(pid)
+        self._hot_pids.discard(pid)
 
     def clear(self) -> None:
         """Drop everything (arrays, hit rows and visit counts)."""
         self._pages.clear()
+        self._hot_pids.clear()
         if self.workload is not None:
             self.workload._rows.clear()
             self.workload._visits.clear()
@@ -214,9 +277,22 @@ class ColumnarCache:
 
     def begin_workload(self, rects: Sequence["Rect | None"]) -> QueryWorkload:
         """Register a query file's boxes for batched evaluation."""
-        self.workload = QueryWorkload(rects)
+        self.workload = QueryWorkload(rects, frozenset(self._hot_pids))
         return self.workload
 
     def end_workload(self) -> None:
-        """Deregister the batch; helpers fall back to single-query kernels."""
+        """Deregister the batch, remembering which pages ran hot.
+
+        Pids of promoted keys — and of keys whose visit count reached
+        half the promotion threshold — seed the next workload's
+        first-visit promotion hint.  A hint never changes a verdict
+        (each workload evaluates its own queries); it only moves the
+        batch kernel earlier.
+        """
+        workload = self.workload
+        if workload is not None:
+            hot = self._hot_pids
+            hot.update(pid for pid, _ in workload._rows)
+            cut = max(2, workload.promote_visits // 2)
+            hot.update(k[0] for k, v in workload._visits.items() if v >= cut)
         self.workload = None

@@ -57,11 +57,27 @@ def run_query_file(
     if explain is not None:
         explain.start_file(method, kind)
     out: list[tuple[int, Any]] = []
+    stats = method.store.stats
     try:
         for index, query in enumerate(queries):
             if workload is not None:
                 workload.set_query(index)
-            cost, result = _measure(method.store, lambda q=query: operation(q))
+            # _measure, inlined: the per-query accounting runs tens of
+            # thousands of times per file and is common to both modes.
+            before = (
+                stats.data_reads
+                + stats.data_writes
+                + stats.dir_reads
+                + stats.dir_writes
+            )
+            result = operation(query)
+            cost = (
+                stats.data_reads
+                + stats.data_writes
+                + stats.dir_reads
+                + stats.dir_writes
+                - before
+            )
             out.append((cost, result))
             if explain is not None:
                 explain.finish_query(index, query, cost, result)

@@ -35,6 +35,7 @@ from typing import Any, Sequence
 import numpy as np
 
 from repro.geometry.rect import Rect
+from repro.storage.soa import SoAList, fused_points
 
 __all__ = [
     "match_records",
@@ -86,21 +87,26 @@ def match_records(
     cache = store.columnar
     if cache is None or n == 0:
         return [rec for rec in records[start:stop] if rect.contains_point(rec[0])]
-    pages = cache._pages
-    page = pages.get(pid)
-    if page is None:
-        page = pages[pid] = {}
-    fused = page.get("pts")
-    if fused is not None and fused.shape[0] != n:
-        # Defensive: every mutation path issues store.write(pid) (which
-        # invalidates), so drift means a page was rebound without a write;
-        # rebuilding keeps the vector path correct even then.
-        cache.invalidate(pid)
-        page = pages[pid] = {}
-        fused = None
-    if fused is None:
-        pts = np.array([rec[0] for rec in records])
-        fused = page["pts"] = np.concatenate([-pts, pts], axis=1)
+    if type(records) is SoAList:
+        # Canonical struct-of-arrays payload: the fused array lives on the
+        # page container itself and survives unrelated page writes.
+        fused = records.view("pts", fused_points)
+    else:
+        pages = cache._pages
+        page = pages.get(pid)
+        if page is None:
+            page = pages[pid] = {}
+        fused = page.get("pts")
+        if fused is not None and fused.shape[0] != n:
+            # Defensive: every mutation path issues store.write(pid) (which
+            # invalidates), so drift means a page was rebound without a
+            # write; rebuilding keeps the vector path correct even then.
+            cache.invalidate(pid)
+            page = pages[pid] = {}
+            fused = None
+        if fused is None:
+            pts = np.array([rec[0] for rec in records])
+            fused = page["pts"] = np.concatenate([-pts, pts], axis=1)
     workload = cache.workload
     if workload is not None:
         cur = workload.current

@@ -1,0 +1,247 @@
+"""Batched level-at-a-time traversal (plan / replay).
+
+PR 4 vectorized the work *inside* a visited page but left the descent
+itself scalar: every directory page paid a Python helper call, side-cache
+probes and — below the workload promotion threshold — its own two-dispatch
+NumPy kernel.  At the paper's 512-byte pages those per-page costs dominate
+the query path.  This module batches the descent:
+
+**Plan.**  A query walks the structure level by level over *uncharged*
+page views (:meth:`~repro.storage.pagestore.PageStore.peek`).  All cold
+pages of one level are evaluated against the query in **one fused kernel
+call** — their fused struct-of-arrays rows (canonical on the page, see
+:mod:`repro.storage.soa`) are concatenated and compared against a single
+query vector — producing each page's ascending verdict row; the verdict
+rows define the next level's frontier as index arrays.  Pages already
+answered by the batched workload cache skip even that.
+
+**Replay.**  The structure then re-runs its original descent loop —
+identical visit order, identical :meth:`PageStore.read` calls — consuming
+the precomputed verdict rows instead of evaluating predicates per page.
+Because the replay issues the same charged accesses in the same order as
+the scalar path, the disk-access statistics, the search-path buffer state
+and the observer/explain event stream are bit-identical by construction,
+not merely by accounting.
+
+Structures whose visited page set does not depend on page contents (the
+grid family, the z-ordered leaf scans) skip the plan phase entirely: they
+read their candidate pages in the original order first, then evaluate all
+cold pages in one fused call and assemble results — same accesses, same
+results, one kernel.
+
+:class:`RowSource` is the shared primitive: it answers per-page verdict
+rows from the workload's batch cache when the page is hot, and otherwise
+defers the page into the current level's fused batch.  It shares the
+workload's promotion counters and per-query memo with the per-page scan
+helpers (:mod:`repro.query.scan`), so mixed call sites stay coherent.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.geometry.rect import Rect
+from repro.storage import soa
+
+__all__ = ["RowSource", "data_hit_rows", "box_view", "value_view", "qvec_for"]
+
+_EMPTY_ROW: list = []
+
+#: op -> (container view tag, builder) for containers of :class:`Rect`.
+#: Intersection and enclosure share the ``[lo, -hi]`` fused encoding,
+#: containment needs ``[-lo, hi]`` (see :mod:`repro.geometry.kernels`).
+_BOX_VIEWS = {
+    "isect": ("boxes:cover", soa.fused_cover_boxes),
+    "encl": ("boxes:cover", soa.fused_cover_boxes),
+    "within": ("boxes:anti", soa.fused_anti_boxes),
+}
+
+#: Same, for containers of ``(rect, payload)`` pairs.
+_VALUE_VIEWS = {
+    "isect": ("values:cover", soa.fused_cover_values),
+    "encl": ("values:cover", soa.fused_cover_values),
+    "within": ("values:anti", soa.fused_anti_values),
+}
+
+
+def box_view(op: str) -> tuple:
+    """``(view tag, builder)`` for containers of Rect rows under ``op``.
+
+    Callers hoist this lookup out of their per-page loop and hand both
+    to :meth:`RowSource.row`, which materialises the view only when the
+    page cannot be answered from a cache.
+    """
+    return _BOX_VIEWS[op]
+
+
+def value_view(op: str) -> tuple:
+    """``(view tag, builder)`` for containers of (rect, rid) rows."""
+    return _VALUE_VIEWS[op]
+
+
+def qvec_for(op: str, query: Rect) -> np.ndarray:
+    """The fused ``(2d,)`` query vector of one box for ``op``.
+
+    Sign flips only — exact in IEEE-754, so one fused comparison is
+    bit-identical to the pairwise scalar predicate
+    (see :mod:`repro.geometry.kernels`).
+    """
+    if op == "pts" or op == "within":
+        vals = tuple(-c for c in query.lo) + query.hi
+    elif op == "isect":
+        vals = query.hi + tuple(-c for c in query.lo)
+    else:  # "encl"
+        vals = query.lo + tuple(-c for c in query.hi)
+    return np.array(vals)
+
+
+class RowSource:
+    """Per-operation verdict rows with workload caching and level batching.
+
+    One instance serves one public query call.  ``row()`` returns the
+    ascending hit-index list of a ``(pid, rowkey)`` pair immediately when
+    it is memoised or the workload holds the page's batch mask, and
+    otherwise enqueues the page's fused rows into the current level's
+    batch, returning ``None``; ``flush()`` evaluates every enqueued page
+    in one kernel call per op family and memoises the rows.  After a
+    flush, ``rows[(pid, rowkey)]`` holds every row requested this level.
+
+    Verdicts are bit-identical to the scalar predicates: hot pages answer
+    from the same ``(Q, n)`` masks the scan helpers build, cold pages ride
+    a concatenated single-comparison kernel over the same fused arrays.
+    """
+
+    __slots__ = ("workload", "qidx", "rows", "query", "_pend", "_pend_keys", "_qvecs")
+
+    def __init__(self, cache, query: Rect):
+        workload = cache.workload if cache is not None else None
+        if workload is not None:
+            cur = workload.current
+            if cur is None or not (cur is query or cur == query):
+                workload = None
+        self.workload = workload
+        self.query = query
+        #: Memoised rows of this operation; the workload's per-query memo
+        #: when a batch is registered, so per-page scan helpers and the
+        #: planner share within-query revisit answers.
+        self.rows: dict = workload._cur if workload is not None else {}
+        # op -> (keys, arrays): pages deferred into the level batch.
+        self._pend: dict[str, tuple[list, list]] = {}
+        # Keys already deferred — the z-ordered structures revisit one
+        # page several times within a query; enqueue it once per flush.
+        self._pend_keys: set = set()
+        self._qvecs: dict[str, np.ndarray] = {}
+
+    def row(self, pid: int, rowkey: str, op: str, lst, tag: str, build) -> "list | None":
+        """The verdict row for ``(pid, rowkey)``, or ``None`` if deferred.
+
+        ``lst`` is the page's struct-of-arrays container and ``(tag,
+        build)`` name its fused view for the op's family (hoist the
+        lookup from ``_BOX_VIEWS``/``_VALUE_VIEWS`` out of the loop) —
+        the view is only materialised when this call actually needs the
+        arrays, which cache-answered pages never do.  ``rowkey`` is the
+        workload row key (tag + ":" + op for bound selects, ``"pts"``
+        for record matches).
+        """
+        key = (pid, rowkey)
+        rows = self.rows
+        row = rows.get(key)
+        if row is not None:
+            return row
+        if key in self._pend_keys:
+            return None
+        workload = self.workload
+        if workload is not None:
+            entry = workload._rows.get(key)
+            if entry is None:
+                visits = workload._visits.get(key, 0) + 1
+                if visits < workload.promote_visits and pid not in workload._hot:
+                    workload._visits[key] = visits
+                else:
+                    qvecs = workload.qvecs(op)
+                    fused = lst.view(tag, build)
+                    # Column-AND instead of a (Q, n, 2d) broadcast +
+                    # reduction: same comparisons, less memory traffic.
+                    mask = fused[:, 0] <= qvecs[:, 0:1]
+                    for j in range(1, fused.shape[1]):
+                        mask &= fused[:, j] <= qvecs[:, j : j + 1]
+                    qidx, cols = mask.nonzero()
+                    entry = workload._rows[key] = (
+                        np.searchsorted(qidx, workload._qrange).tolist(),
+                        cols,
+                    )
+            if entry is not None:
+                starts, cols = entry
+                i = workload.index
+                s = starts[i]
+                e = starts[i + 1]
+                row = rows[key] = cols[s:e].tolist() if e > s else _EMPTY_ROW
+                return row
+        pend = self._pend.get(op)
+        if pend is None:
+            pend = self._pend[op] = ([], [])
+        fused = lst.view(tag, build)
+        pend[0].append((key, fused.shape[0]))
+        pend[1].append(fused)
+        self._pend_keys.add(key)
+        return None
+
+    def flush(self) -> dict:
+        """Evaluate every deferred page — one fused kernel call per op.
+
+        Fills and returns the memo (:attr:`rows`); after this call every
+        key passed to :meth:`row` since the last flush resolves.
+        """
+        rows = self.rows
+        pend = self._pend
+        if pend:
+            workload = self.workload
+            for op, (keys, arrays) in pend.items():
+                fused = arrays[0] if len(arrays) == 1 else np.concatenate(arrays)
+                qvec = self._qvecs.get(op)
+                if qvec is None:
+                    if workload is not None:
+                        # Row of the workload's fused query matrix — same
+                        # floats as qvec_for, already materialised.
+                        qvec = workload.qvecs(op)[workload.index]
+                    else:
+                        qvec = qvec_for(op, self.query)
+                    self._qvecs[op] = qvec
+                flags = (fused <= qvec).all(axis=1).tolist()
+                pos = 0
+                for key, n in keys:
+                    rows[key] = [i for i in range(n) if flags[pos + i]]
+                    pos += n
+            pend.clear()
+            self._pend_keys.clear()
+        return rows
+
+
+def data_hit_rows(
+    store, query: Rect, pages: Sequence[tuple[int, Sequence]]
+) -> "dict[int, list[int]] | None":
+    """Ascending record-hit rows for a set of data pages, batch-evaluated.
+
+    ``pages`` is ``[(pid, records), ...]`` with ``records`` a
+    struct-of-arrays container of ``(point, rid)`` rows
+    (:class:`~repro.storage.soa.SoAList`).  All pages the workload cache
+    cannot answer are evaluated in **one** fused kernel call.  Returns
+    ``None`` when the store has no columnar cache — callers then run their
+    scalar loops.  Reading the pages (and the charging order) is entirely
+    the caller's business, so access statistics cannot change.
+    """
+    cache = store.columnar
+    if cache is None:
+        return None
+    src = RowSource(cache, query)
+    row = src.row
+    fused_points = soa.fused_points
+    for pid, records in pages:
+        if records:
+            row(pid, "pts", "pts", records, "pts", fused_points)
+        else:
+            src.rows[(pid, "pts")] = _EMPTY_ROW
+    rows = src.flush()
+    return {pid: rows[(pid, "pts")] for pid, _ in pages}

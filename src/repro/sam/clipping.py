@@ -25,7 +25,7 @@ from repro.geometry.zorder import decompose_rect, z_interval
 from repro.pam.zbtree import _BPlusTree, snapshot_bplus_pages
 from repro.storage import layout
 from repro.storage.pagestore import PageStore
-from repro.query import scan
+from repro.query import traverse
 
 __all__ = ["ClippingSAM"]
 
@@ -144,33 +144,61 @@ class ClippingSAM(SpatialAccessMethod):
                 seen.add(rid)
                 result.append(rid)
 
+        store = self.store
+        vector = store.columnar is not None
+        src = traverse.RowSource(store.columnar, query) if vector else None
+        rowkey = "vrects:" + op
+        vtag, vbuild = traverse.value_view(op)
+        # With a columnar cache the pass below only *charges* the reads
+        # (in the original interleaved scan/probe order) and records an
+        # action log; evaluation of all cold pages happens in one fused
+        # kernel call afterwards, and the log replays the first-seen
+        # dedup in the scalar order.
+        actions: list = []
         probed: set[Bits] = set()
         for bits in query_regions:
             lo, hi = z_interval(bits, self.dims, _Z_BITS)
             for pid, leaf, start, stop in self._tree.scan_pages((lo, 0), (hi, 0)):
-                idx = scan.select_rect_values(
-                    self.store, pid, leaf.values, op, query, start, stop
-                )
-                if idx is None:
+                if not vector:
                     for rect, rid in leaf.values[start:stop]:
                         offer(rect, rid)
-                else:
-                    # The kernel already applied the predicate; only the
-                    # first-seen dedup remains.
-                    values = leaf.values
-                    for i in idx:
-                        rid = values[i][1]
-                        if rid not in seen:
-                            seen.add(rid)
-                            result.append(rid)
+                    continue
+                values = leaf.values
+                if not values:
+                    continue
+                src.row(pid, rowkey, op, values, vtag, vbuild)
+                actions.append((pid, values, start, stop))
             # Ancestor blocks start before `lo`; probe each exactly once.
             for depth in range(len(bits)):
                 ancestor = bits[:depth]
                 if ancestor in probed:
                     continue
                 probed.add(ancestor)
-                for rect, rid in self._tree.lookup(self._key(ancestor)):
+                items = self._tree.lookup(self._key(ancestor))
+                if not vector:
+                    for rect, rid in items:
+                        offer(rect, rid)
+                elif items:
+                    actions.append((None, items, 0, 0))
+        if not vector:
+            return result
+        rows = src.flush()
+        for pid, values, start, stop in actions:
+            if pid is None:
+                # Ancestor probe: few entries, scalar predicate as before.
+                for rect, rid in values:
                     offer(rect, rid)
+                continue
+            row = rows[(pid, rowkey)]
+            if start or stop != len(values):
+                row = [i for i in row if start <= i < stop]
+            # The kernel already applied the predicate; only the
+            # first-seen dedup remains.
+            for i in row:
+                rid = values[i][1]
+                if rid not in seen:
+                    seen.add(rid)
+                    result.append(rid)
         return result
 
     def _point_query(self, point: tuple[float, ...]) -> list[object]:

@@ -22,7 +22,7 @@ from repro.geometry.rect import Rect
 from repro.pam.plop import _PlopGrid, snapshot_plop_pages
 from repro.storage import layout
 from repro.storage.pagestore import PageStore
-from repro.query import scan
+from repro.query import traverse
 
 __all__ = ["OverlappingPlop"]
 
@@ -97,18 +97,53 @@ class OverlappingPlop(SpatialAccessMethod):
         ]
         if any(r.start >= r.stop for r in ranges):
             return []
+        store = self.store
+        vector = store.columnar is not None
+        src = traverse.RowSource(store.columnar, query) if vector else None
         predicate = self._SCALAR_PRED[op]
-        result = []
+        rowkey = "vrects:" + op
+        vtag, vbuild = traverse.value_view(op)
+        occurrences: list = []
+        result: list[object] = []
         idx = [r.start for r in ranges]
+        # Inlined _PlopGrid.iter_chain_pages — same reads, same order,
+        # without a generator resume per chain page (this loop touches
+        # every bucket of the expanded window, the technique's hot spot).
+        buckets = self._grid.buckets
+        read = store.read
+        # Hot-page fast path: the expanded windows revisit every bucket,
+        # so after promotion nearly all pages answer from the workload's
+        # CSR verdicts — probe those directly and only route cold pages
+        # through the RowSource (verdicts are the same lists either way).
+        workload = src.workload if vector else None
+        hot = workload._rows if workload is not None else None
+        qi = workload.index if workload is not None else -1
         while True:
-            for pid, records in self._grid.iter_chain_pages(tuple(idx)):
-                sel = scan.select_rect_values(self.store, pid, records, op, query)
-                if sel is None:
+            bucket = buckets.get(tuple(idx))
+            for pid in bucket.chain if bucket is not None else ():
+                records = read(pid).records
+                if not records:
+                    continue
+                if vector:
+                    if hot is not None:
+                        entry = hot.get((pid, rowkey))
+                        if entry is not None:
+                            starts, cols = entry
+                            s = starts[qi]
+                            e = starts[qi + 1]
+                            if e > s:
+                                occurrences.append(
+                                    (pid, records, cols[s:e].tolist())
+                                )
+                            continue
+                    # Read-then-batch: reads stay in the original order;
+                    # evaluation is deferred into one fused call below.
+                    src.row(pid, rowkey, op, records, vtag, vbuild)
+                    occurrences.append((pid, records, None))
+                else:
                     for rect, rid in records:
                         if predicate(rect, query):
                             result.append(rid)
-                else:
-                    result.extend(records[i][1] for i in sel)
             axis = 0
             while axis < self.dims:
                 idx[axis] += 1
@@ -117,7 +152,14 @@ class OverlappingPlop(SpatialAccessMethod):
                 idx[axis] = ranges[axis].start
                 axis += 1
             if axis == self.dims:
-                return result
+                break
+        if vector:
+            rows = src.flush()
+            for pid, records, row in occurrences:
+                if row is None:
+                    row = rows[(pid, rowkey)]
+                result.extend([records[i][1] for i in row])
+        return result
 
     def _expanded(self, query: Rect) -> tuple[list[float], list[float]]:
         lo = [query.lo[a] - self._max_extent[a] for a in range(self.dims)]

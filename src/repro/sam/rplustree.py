@@ -22,7 +22,8 @@ from repro.geometry.rect import Rect
 from repro.storage import layout
 from repro.storage.page import PageKind
 from repro.storage.pagestore import PageStore
-from repro.query import scan
+from repro.query import traverse
+from repro.storage.soa import soa_field
 
 __all__ = ["RPlusTree"]
 
@@ -30,7 +31,9 @@ __all__ = ["RPlusTree"]
 class _Leaf:
     """A leaf page: data rectangles of one disjoint region (clipped in)."""
 
-    __slots__ = ("rects", "rids")
+    __slots__ = ("_soa_rects", "rids")
+
+    rects = soa_field()
 
     def __init__(self, rects=None, rids=None):
         self.rects: list[Rect] = rects or []
@@ -40,7 +43,9 @@ class _Leaf:
 class _Inner:
     """An inner page: child regions partitioning this page's region."""
 
-    __slots__ = ("regions", "pids", "leaf_children")
+    __slots__ = ("_soa_regions", "pids", "leaf_children")
+
+    regions = soa_field()
 
     def __init__(self, regions=None, pids=None, leaf_children=True):
         self.regions: list[Rect] = regions or []
@@ -374,6 +379,85 @@ class RPlusTree(SpatialAccessMethod):
     }
 
     def _collect(self, region_op: str, entry_op: str, query: Rect) -> list[object]:
+        store = self.store
+        if store.columnar is None:
+            return self._collect_scalar(region_op, entry_op, query)
+        # Plan: level-at-a-time over uncharged views; one fused kernel
+        # call per level for all cold pages (see repro.query.traverse).
+        objects = store._objects
+        src = traverse.RowSource(store.columnar, query)
+        row_of = src.row
+        entry_tag, entry_build = traverse.box_view(entry_op)
+        region_tag, region_build = traverse.box_view(region_op)
+        entry_key, region_key = "entries:" + entry_op, "regions:" + region_op
+        verdicts: dict[int, list] = {}
+        level = [(self._root_pid, self._root_is_leaf)]
+        while level:
+            nxt: list = []
+            deferred: list = []
+            for pid, is_leaf in level:
+                if is_leaf:
+                    leaf = objects[pid]
+                    if not leaf.rects:
+                        verdicts[pid] = traverse._EMPTY_ROW
+                        continue
+                    row = row_of(
+                        pid, entry_key, entry_op, leaf.rects, entry_tag, entry_build
+                    )
+                    if row is None:
+                        deferred.append((pid, True))
+                    else:
+                        verdicts[pid] = row
+                    continue
+                node = objects[pid]
+                if not node.regions:
+                    verdicts[pid] = traverse._EMPTY_ROW
+                    continue
+                row = row_of(
+                    pid, region_key, region_op, node.regions, region_tag, region_build
+                )
+                if row is None:
+                    deferred.append((pid, False))
+                else:
+                    verdicts[pid] = row
+                    pids = node.pids
+                    nxt.extend([(pids[i], node.leaf_children) for i in row])
+            if deferred:
+                rows = src.flush()
+                for pid, is_leaf in deferred:
+                    row = verdicts[pid] = rows[(pid, entry_key if is_leaf else region_key)]
+                    if not is_leaf:
+                        node = objects[pid]
+                        pids = node.pids
+                        nxt.extend([(pids[i], node.leaf_children) for i in row])
+            level = nxt
+        # Replay: the original descent order with charged reads; clipped
+        # entries recur under several leaves, so first-seen dedup keeps
+        # the scalar result order.
+        result: list[object] = []
+        seen: set[object] = set()
+        read = store.read
+        stack = [(self._root_pid, self._root_is_leaf)]
+        while stack:
+            pid, is_leaf = stack.pop()
+            if is_leaf:
+                rids = read(pid).rids
+                for i in verdicts[pid]:
+                    rid = rids[i]
+                    if rid not in seen:
+                        seen.add(rid)
+                        result.append(rid)
+            else:
+                node = read(pid)
+                pids = node.pids
+                leaf = node.leaf_children
+                stack.extend((pids[i], leaf) for i in verdicts[pid])
+        return result
+
+    def _collect_scalar(
+        self, region_op: str, entry_op: str, query: Rect
+    ) -> list[object]:
+        """The original scalar descent (the ``REPRO_VECTOR=0`` kill switch)."""
         result: list[object] = []
         seen: set[object] = set()
         stack = [(self._root_pid, self._root_is_leaf)]
@@ -381,40 +465,17 @@ class RPlusTree(SpatialAccessMethod):
             pid, is_leaf = stack.pop()
             if is_leaf:
                 leaf: _Leaf = self.store.read(pid)
-                idx = scan.select_boxes(
-                    self.store, pid, "entries", len(leaf.rects),
-                    lambda: leaf.rects, entry_op, query,
-                )
-                if idx is None:
-                    pred = self._SCALAR_PRED[entry_op]
-                    for rect, rid in zip(leaf.rects, leaf.rids):
-                        if rid not in seen and pred(rect, query):
-                            seen.add(rid)
-                            result.append(rid)
-                else:
-                    # Clipped entries recur under several leaves; keeping
-                    # the first-seen order matches the scalar dedup.
-                    rids = leaf.rids
-                    for i in idx:
-                        rid = rids[i]
-                        if rid not in seen:
-                            seen.add(rid)
-                            result.append(rid)
+                pred = self._SCALAR_PRED[entry_op]
+                for rect, rid in zip(leaf.rects, leaf.rids):
+                    if rid not in seen and pred(rect, query):
+                        seen.add(rid)
+                        result.append(rid)
                 continue
             node: _Inner = self.store.read(pid)
-            idx = scan.select_boxes(
-                self.store, pid, "regions", len(node.regions),
-                lambda: node.regions, region_op, query,
-            )
-            if idx is None:
-                pred = self._SCALAR_PRED[region_op]
-                for region, child in zip(node.regions, node.pids):
-                    if pred(region, query):
-                        stack.append((child, node.leaf_children))
-            else:
-                pids = node.pids
-                for i in idx:
-                    stack.append((pids[i], node.leaf_children))
+            pred = self._SCALAR_PRED[region_op]
+            for region, child in zip(node.regions, node.pids):
+                if pred(region, query):
+                    stack.append((child, node.leaf_children))
         return result
 
     def _point_query(self, point: tuple[float, ...]) -> list[object]:

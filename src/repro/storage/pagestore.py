@@ -181,28 +181,34 @@ class PageStore:
     def read(self, pid: int) -> Any:
         """Fetch a page's object, charging a read unless it is buffered."""
         obj = self._objects[pid]
+        observer = self.observer
         if pid in self._pinned:
-            if self.observer is not None:
-                self.observer.on_access(
+            if observer is not None:
+                observer.on_access(
                     self, pid, self._kinds[pid], "read", False, "pinned"
                 )
             return obj
-        if pid in self._buffer_cur:
-            if self.observer is not None:
-                self.observer.on_access(
+        buffer_cur = self._buffer_cur
+        if pid in buffer_cur:
+            if observer is not None:
+                observer.on_access(
                     self, pid, self._kinds[pid], "read", False, "buffered"
                 )
             return obj
-        self._buffer_cur[pid] = None
+        buffer_cur[pid] = None
         if pid in self._buffer_prev:
-            if self.observer is not None:
-                self.observer.on_access(
+            if observer is not None:
+                observer.on_access(
                     self, pid, self._kinds[pid], "read", False, "path"
                 )
             return obj
-        self.stats.record_read(self._kinds[pid] is PageKind.DATA)
-        if self.observer is not None:
-            self.observer.on_access(
+        stats = self.stats
+        if self._kinds[pid] is PageKind.DATA:
+            stats.data_reads += 1
+        else:
+            stats.dir_reads += 1
+        if observer is not None:
+            observer.on_access(
                 self, pid, self._kinds[pid], "read", True, "charged"
             )
         return obj

@@ -30,6 +30,7 @@ FP = {
     "seed": 1,
     "workers": 1,
     "vector": "1",
+    "vector_promote": "default",
 }
 
 
@@ -84,6 +85,16 @@ class TestFingerprint:
         assert set(fp) == set(FP)
         assert fp["workers"] == 2
         assert fp["code"]  # the build cache's source hash
+
+    def test_collect_carries_promotion_threshold(self, monkeypatch):
+        monkeypatch.delenv("REPRO_VECTOR_PROMOTE", raising=False)
+        fp = collect_fingerprint(page_size=512, scale=10)
+        assert fp["vector_promote"] == "default"
+        monkeypatch.setenv("REPRO_VECTOR_PROMOTE", "9")
+        tuned = collect_fingerprint(page_size=512, scale=10)
+        assert tuned["vector_promote"] == "9"
+        # A tuned run must land in its own gating history.
+        assert fingerprint_digest(tuned) != fingerprint_digest(fp)
 
 
 class TestRecordAndRead:

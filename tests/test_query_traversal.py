@@ -1,0 +1,176 @@
+"""Property tests for the batched level-at-a-time traversal.
+
+The batched planner (:mod:`repro.query.traverse`) promises more than
+equal results: the *frontier* it derives at every directory level — and
+therefore the full ordered stream of page accesses the replay issues —
+must equal the scalar descent's, access for access.  These tests pin
+that oracle across the whole fuzz matrix: every structure is built
+twice from identical data (``REPRO_VECTOR`` off and on), every query
+file runs through the batched driver in both modes, and the two
+observer event streams (pid, kind, read/write, charged) are compared as
+ordered sequences.  A vector-mode traversal that visited one extra
+page, skipped one, or reordered two reads fails immediately.
+
+A second pass forces the workload promotion threshold to 1 page visit
+(``REPRO_VECTOR_PROMOTE=1``), driving every page through the CSR batch
+verdicts and the cross-workload promotion hints on the very first
+query — the paths a cold default threshold would leave underexercised
+at these tiny scales.
+"""
+
+import os
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.geometry.rect import Rect
+from repro.query.driver import run_query_file
+from repro.storage.pagestore import PageStore
+from repro.verify.fuzz import STRUCTURES, _point_pool, _rect_pool
+
+coordinate = st.floats(0.0, 1.0, exclude_max=True, allow_nan=False)
+
+
+@st.composite
+def query_rects(draw):
+    out = []
+    for _ in range(draw(st.integers(2, 5))):
+        a, b = draw(coordinate), draw(coordinate)
+        c, d = draw(coordinate), draw(coordinate)
+        out.append(Rect((min(a, b), min(c, d)), (max(a, b), max(c, d))))
+    return out
+
+
+class _PidTrace:
+    """Observer recording the full ordered access stream of a store."""
+
+    def __init__(self):
+        self.events = []
+
+    def on_operation_begin(self, store):
+        self.events.append("op")
+
+    def on_access(self, store, pid, kind, rw, charged, reason):
+        self.events.append((pid, str(kind), rw, charged))
+
+
+def _traced_pass(name, spec, data, queries, vector, page_size=512):
+    """Build one structure and run the query files under a pid trace."""
+    store = PageStore(page_size, vector=vector)
+    method = spec["factory"](store)
+    for rid, item in enumerate(data):
+        method.insert(item, rid)
+    trace = _PidTrace()
+    store.observer = trace
+    outcomes = []
+    if spec["kind"] == "pam":
+        outcomes.append(
+            run_query_file(method, "range", queries, method.range_query)
+        )
+    else:
+        for kind, op in (
+            ("intersection", method.intersection),
+            ("enclosure", method.enclosure),
+        ):
+            outcomes.append(run_query_file(method, kind, queries, op))
+    return trace.events, outcomes, repr(store.stats.snapshot())
+
+
+def _assert_frontier_identity(seed, scale, queries):
+    points = _point_pool(scale, seed)
+    rects = _rect_pool(scale, seed + 1)
+    for name, spec in STRUCTURES.items():
+        data = points if spec["kind"] == "pam" else rects
+        s_events, s_out, s_stats = _traced_pass(name, spec, data, queries, False)
+        v_events, v_out, v_stats = _traced_pass(name, spec, data, queries, True)
+        assert v_out == s_out, f"{name}: outcomes diverge"
+        assert v_stats == s_stats, f"{name}: store statistics diverge"
+        if v_events != s_events:
+            n = min(len(s_events), len(v_events))
+            idx = next((i for i in range(n) if s_events[i] != v_events[i]), n)
+            raise AssertionError(
+                f"{name}: access stream diverges at event {idx} "
+                f"(scalar {len(s_events)} events, vector {len(v_events)})"
+            )
+
+
+FUZZ_SETTINGS = settings(
+    max_examples=5, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+
+class TestFrontierOracle:
+    @FUZZ_SETTINGS
+    @given(
+        seed=st.integers(0, 10**6),
+        scale=st.integers(30, 90),
+        queries=query_rects(),
+    )
+    def test_batched_frontier_equals_scalar_descent(self, seed, scale, queries):
+        _assert_frontier_identity(seed, scale, queries)
+
+    @settings(
+        max_examples=3, deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(seed=st.integers(0, 10**6), queries=query_rects())
+    def test_frontier_identity_under_forced_promotion(self, seed, queries):
+        old = os.environ.get("REPRO_VECTOR_PROMOTE")
+        os.environ["REPRO_VECTOR_PROMOTE"] = "1"
+        try:
+            _assert_frontier_identity(seed, 60, queries)
+        finally:
+            if old is None:
+                del os.environ["REPRO_VECTOR_PROMOTE"]
+            else:
+                os.environ["REPRO_VECTOR_PROMOTE"] = old
+
+
+class TestWorkloadLifecycle:
+    def test_promotion_threshold_env_override(self, monkeypatch):
+        from repro.query.columnar import promote_visits_for
+
+        monkeypatch.delenv("REPRO_VECTOR_PROMOTE", raising=False)
+        assert promote_visits_for(160) == 20
+        assert promote_visits_for(8) == 4
+        monkeypatch.setenv("REPRO_VECTOR_PROMOTE", "7")
+        assert promote_visits_for(160) == 7
+        for bad in ("0", "-3", "many"):
+            monkeypatch.setenv("REPRO_VECTOR_PROMOTE", bad)
+            with pytest.raises(ValueError):
+                promote_visits_for(160)
+
+    def test_hot_pid_hints_do_not_change_verdicts(self):
+        """A pid hint only moves promotion earlier — never the answer."""
+        from repro.query.columnar import ColumnarCache
+
+        points = _point_pool(60, 7)
+        queries = [
+            Rect((0.1, 0.1), (0.6, 0.6)),
+            Rect((0.3, 0.2), (0.9, 0.8)),
+            Rect((0.0, 0.5), (0.4, 0.9)),
+        ]
+        spec = STRUCTURES["BANG"]
+        store = PageStore(512, vector=True)
+        method = spec["factory"](store)
+        for rid, p in enumerate(points):
+            method.insert(p, rid)
+        cache = store.columnar
+        assert isinstance(cache, ColumnarCache)
+        first = run_query_file(method, "range", queries, method.range_query)
+        assert cache._hot_pids, "first workload should leave promotion hints"
+        hinted = run_query_file(method, "range", queries, method.range_query)
+        # Costs legitimately differ between consecutive runs (the search
+        # path buffer keeps recently visited pages); the hint contract is
+        # about the answers.
+        assert [r for _, r in hinted] == [r for _, r in first]
+
+    def test_invalidate_drops_hot_pid_hint(self):
+        from repro.query.columnar import ColumnarCache
+
+        cache = ColumnarCache()
+        cache._hot_pids.update({3, 5})
+        cache.invalidate(3)
+        assert cache._hot_pids == {5}
+        cache.clear()
+        assert not cache._hot_pids

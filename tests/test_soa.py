@@ -1,0 +1,133 @@
+"""Struct-of-arrays container invariants (:mod:`repro.storage.soa`).
+
+The regression these tests pin: columnar views are invalidated *per
+container*, so a page holding both a directory-bounds container and a
+record container keeps its bounds arrays when only the records change.
+Before the struct-of-arrays store, any write rebuilt every array of the
+page; the build counters here fail if that coupling ever comes back.
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.storage.soa import SoAList, soa_field
+
+
+def _counting_builder(counter, key):
+    def build(lst):
+        counter[key] = counter.get(key, 0) + 1
+        return np.arange(len(lst), dtype=float)
+
+    return build
+
+
+class TestSoAListViews:
+    def test_views_cache_until_mutation(self):
+        calls = {}
+        lst = SoAList([1, 2, 3])
+        a = lst.view("a", _counting_builder(calls, "a"))
+        assert lst.view("a", _counting_builder(calls, "a")) is a
+        assert calls == {"a": 1}
+        lst.append(4)
+        lst.view("a", _counting_builder(calls, "a"))
+        assert calls == {"a": 2}
+
+    def test_touch_drops_only_the_named_view(self):
+        calls = {}
+        lst = SoAList([1, 2, 3])
+        lst.view("a", _counting_builder(calls, "a"))
+        lst.view("b", _counting_builder(calls, "b"))
+        lst.touch("b")
+        lst.view("a", _counting_builder(calls, "a"))
+        lst.view("b", _counting_builder(calls, "b"))
+        assert calls == {"a": 1, "b": 2}
+        lst.touch()  # no tag: drop everything
+        lst.view("a", _counting_builder(calls, "a"))
+        assert calls["a"] == 2
+
+    def test_length_drift_guard_rebuilds(self):
+        """A missed length-changing mutation degrades to a rebuild."""
+        calls = {}
+        lst = SoAList([1, 2, 3])
+        lst.view("a", _counting_builder(calls, "a"))
+        list.append(lst, 4)  # bypass the SoAList mutator on purpose
+        arr = lst.view("a", _counting_builder(calls, "a"))
+        assert calls == {"a": 2}
+        assert arr.shape == (4,)
+
+    @pytest.mark.parametrize(
+        "mutate",
+        [
+            lambda l: l.append(9),
+            lambda l: l.extend([9]),
+            lambda l: l.insert(0, 9),
+            lambda l: l.remove(1),
+            lambda l: l.pop(),
+            lambda l: l.sort(),
+            lambda l: l.reverse(),
+            lambda l: l.__setitem__(0, 9),
+            lambda l: l.__delitem__(0),
+            lambda l: l.__iadd__([9]),
+            lambda l: l.__imul__(2),
+            lambda l: l.clear(),
+        ],
+    )
+    def test_every_mutator_invalidates(self, mutate):
+        lst = SoAList([3, 1, 2])
+        lst.view("a", lambda l: np.arange(len(l)))
+        assert lst.view_builds == 1
+        mutate(lst)
+        assert lst.view_builds == 0
+
+    def test_pickle_sheds_views(self):
+        lst = SoAList([1, 2, 3])
+        lst.view("a", lambda l: np.arange(len(l)))
+        clone = pickle.loads(pickle.dumps(lst))
+        assert type(clone) is SoAList
+        assert list(clone) == [1, 2, 3]
+        assert clone.view_builds == 0
+
+
+class _Page:
+    __slots__ = ("_soa_entries", "_soa_records")
+
+    entries = soa_field()
+    records = soa_field()
+
+
+class TestPerArrayInvalidation:
+    def test_bounds_views_survive_record_writes(self):
+        """The satellite regression: rebuild counts stay pinned.
+
+        Warming a directory-bounds view and a record view, then writing
+        only the record container, must rebuild exactly the record view
+        — one build each before the write, one extra record build after.
+        """
+        calls = {}
+        page = _Page()
+        page.entries = [((0.0, 0.0), (1.0, 1.0))]
+        page.records = [((0.5, 0.5), 0)]
+        page.entries.view("bounds", _counting_builder(calls, "bounds"))
+        page.records.view("pts", _counting_builder(calls, "pts"))
+        assert calls == {"bounds": 1, "pts": 1}
+
+        page.records.append(((0.25, 0.75), 1))
+        page.records.view("pts", _counting_builder(calls, "pts"))
+        page.entries.view("bounds", _counting_builder(calls, "bounds"))
+        assert calls == {"bounds": 1, "pts": 2}
+
+        # Rebinding the records list wholesale is also a record-only event.
+        page.records = [((0.1, 0.1), 2)]
+        page.records.view("pts", _counting_builder(calls, "pts"))
+        page.entries.view("bounds", _counting_builder(calls, "bounds"))
+        assert calls == {"bounds": 1, "pts": 3}
+
+    def test_soa_field_wraps_assignments(self):
+        page = _Page()
+        page.records = [1, 2]
+        assert type(page.records) is SoAList
+        page.records = page.records[:1]  # slicing returns a plain list
+        assert type(page.records) is SoAList
+        assert list(page.records) == [1]
