@@ -18,6 +18,7 @@ from repro.core.interfaces import PointAccessMethod, SpatialAccessMethod
 from repro.core.stats import BuildMetrics
 from repro.geometry.rect import Rect
 from repro.query.driver import run_query_file
+from repro.storage.factory import make_store
 from repro.storage.pagestore import PageStore
 from repro.workloads.queries import (
     RANGE_QUERY_VOLUMES,
@@ -117,6 +118,7 @@ def build_pam(
     tracer=None,
     audit: bool | None = None,
     vector: bool | None = None,
+    store_factory: Callable[..., PageStore] | None = None,
 ) -> PointAccessMethod:
     """Build a fresh PAM over its own page store and insert all points.
 
@@ -132,8 +134,15 @@ def build_pam(
     ``vector`` forces the store's columnar cache on or off; ``None``
     defers to ``REPRO_VECTOR`` (default on).  Builds are identical
     either way — the cache only accelerates query-time filtering.
+
+    ``store_factory`` overrides store construction (it is called as
+    ``store_factory(page_size=..., vector=...)``); ``None`` defers to
+    :func:`repro.storage.factory.make_store` and thus to the
+    ``REPRO_STORE_BACKEND`` environment variable.
     """
-    store = PageStore(page_size, vector=vector)
+    if store_factory is None:
+        store_factory = make_store
+    store = store_factory(page_size=page_size, vector=vector)
     if tracer is not None:
         tracer.set_context(op="setup").attach(store)
     pam = factory(store, dims=dims)
@@ -154,12 +163,16 @@ def build_sam(
     tracer=None,
     audit: bool | None = None,
     vector: bool | None = None,
+    store_factory: Callable[..., PageStore] | None = None,
 ) -> SpatialAccessMethod:
     """Build a fresh SAM over its own page store and insert all rectangles.
 
-    ``audit`` and ``vector`` behave as in :func:`build_pam`.
+    ``audit``, ``vector`` and ``store_factory`` behave as in
+    :func:`build_pam`.
     """
-    store = PageStore(page_size, vector=vector)
+    if store_factory is None:
+        store_factory = make_store
+    store = store_factory(page_size=page_size, vector=vector)
     if tracer is not None:
         tracer.set_context(op="setup").attach(store)
     sam = factory(store, dims=dims)

@@ -48,6 +48,11 @@ class Rect:
     def __setattr__(self, name: str, value: object) -> None:
         raise AttributeError("Rect is immutable")
 
+    # The default slots pickling path rebuilds via __setattr__, which is
+    # blocked; reconstruct through the validating constructor instead.
+    def __reduce__(self):
+        return (Rect, (self.lo, self.hi))
+
     # -- constructors -------------------------------------------------
 
     @classmethod

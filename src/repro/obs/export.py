@@ -387,6 +387,7 @@ def build_run_report(
     spans: Iterable[Span],
     timers: Mapping[str, float] | None = None,
     meta: Mapping | None = None,
+    storage: Mapping[str, Mapping] | None = None,
     buckets: tuple[float, ...] = DEFAULT_ACCESS_BUCKETS,
 ) -> RunReport:
     """Assemble a :class:`RunReport` from an experiment's artefacts.
@@ -401,6 +402,12 @@ def build_run_report(
     redundancy, see :mod:`repro.obs.structure`) contribute it as the
     structure entry's additive ``snapshot`` field; pre-snapshot results
     simply omit it, keeping old and new reports inter-readable.
+
+    ``storage`` maps structure name to the physical-IO counters of a
+    durable backend (``store.io_stats()``: pool hit rate, WAL bytes,
+    page-file reads/writes).  It lands as the structure entry's
+    additive ``storage`` field; simulated-backend runs omit it, and the
+    charged ``totals`` are always the simulated-identical counters.
     """
     timers = dict(timers or {})
     spans = list(spans)
@@ -424,6 +431,8 @@ def build_run_report(
         snapshot = getattr(result, "snapshot", None)
         if snapshot is not None:
             entry["snapshot"] = snapshot
+        if storage is not None and name in storage:
+            entry["storage"] = dict(storage[name])
         build_ops = {
             op: summary
             for op, summary in per_op_touches.items()
@@ -559,6 +568,9 @@ def validate_run_report(data: Mapping) -> list[str]:
             problems.extend(
                 f"{where}.snapshot: {p}" for p in validate_snapshot(snapshot)
             )
+        storage = entry.get("storage")
+        if storage is not None and not isinstance(storage, Mapping):
+            problems.append(f"{where}.storage is not an object")
         build = entry.get("build")
         if not isinstance(build, Mapping) or not isinstance(
             build.get("metrics"), Mapping

@@ -54,6 +54,7 @@ def _traced_run(
     explain_to = _explain_dir(explain)
     results: dict[str, MethodResult] = {}
     totals: dict[str, AccessStats] = {}
+    storage: dict[str, dict] = {}
     for name, factory in factories.items():
         tracer.set_context(structure=name, op="insert")
         with registry.timer(f"{name}/build"):
@@ -73,6 +74,9 @@ def _traced_run(
         result.snapshot = method.snapshot()
         results[name] = result
         totals[name] = method.store.stats.snapshot()
+        io_stats = getattr(method.store, "io_stats", None)
+        if io_stats is not None:  # durable backend: physical-IO counters
+            storage[name] = io_stats()
     report = build_run_report(
         label=label,
         kind=kind,
@@ -84,6 +88,7 @@ def _traced_run(
         spans=tracer.finish(),
         timers={name: timer.seconds for name, timer in registry.timers().items()},
         meta=meta,
+        storage=storage or None,
     )
     record_to_ledger(report, ledger=ledger)
     return results, report

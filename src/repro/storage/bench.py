@@ -1,0 +1,229 @@
+"""``python -m repro.storage.bench`` — larger-than-pool durable-backend bench.
+
+Builds representative structures at a scale whose page count dwarfs the
+buffer pool (default: the pool holds 10% of the final page count), runs
+the full §3/§7 query workload on both backends, and
+
+* verifies the durable backend is **bit-identical** to the simulated
+  store — same per-query disk-access counts, same per-query results,
+  same total :class:`~repro.core.stats.AccessStats`;
+* reports wall-clock build/query times for both, plus the physical-IO
+  profile of the disk run (pool hit rate, evictions, WAL bytes, page
+  file reads/writes);
+* writes ``results/BENCH_STORAGE.json`` and, when a ledger is active
+  (``--ledger`` / ``REPRO_LEDGER``), records the disk-backend timings
+  under source ``storage-bench`` so the CI regression gate tracks the
+  out-of-core path like any other hot path.
+
+Usage::
+
+    PYTHONPATH=src python -m repro.storage.bench --scale 20000
+    PYTHONPATH=src python -m repro.storage.bench --scale 100000 --pool-frac 0.1
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.query.bench import _run_workload, results_dir
+from repro.storage.factory import make_store
+from repro.verify.fuzz import STRUCTURES, _point_pool, _rect_pool
+
+__all__ = ["BENCH_SCHEMA", "DEFAULT_STRUCTURES", "bench_structure", "main"]
+
+BENCH_SCHEMA = "repro.storage/bench/v1"
+
+#: One tree SAM and one hashing PAM: different page populations, both
+#: representative of how the comparison driver touches the store.
+DEFAULT_STRUCTURES = ("R", "GRID")
+
+
+def _build(spec: dict, data, store) -> object:
+    method = spec["factory"](store)
+    for rid, item in enumerate(data):
+        method.insert(item, rid)
+    return method
+
+
+def bench_structure(
+    name: str,
+    scale: int,
+    *,
+    seed: int,
+    pool_frac: float,
+    page_size: int,
+    fsync: bool,
+    directory: str | None,
+) -> dict:
+    """One sim-vs-disk identity-checked timing run; returns the record."""
+    spec = STRUCTURES[name]
+    data = (
+        _point_pool(scale, seed) if spec["kind"] == "pam" else _rect_pool(scale, seed)
+    )
+    data = data[:scale]
+
+    sim = make_store(page_size, backend="sim")
+    t0 = time.perf_counter()
+    method = _build(spec, data, sim)
+    sim_build = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    sim_outcomes = _run_workload(method, spec["kind"])
+    sim_query = time.perf_counter() - t0
+    sim_stats = sim.stats.as_dict()
+    total_pages = len(sim.page_ids())
+
+    pool_pages = max(8, int(total_pages * pool_frac))
+    disk = make_store(
+        page_size,
+        backend="disk",
+        directory=directory,
+        pool_pages=pool_pages,
+        fsync=fsync,
+    )
+    t0 = time.perf_counter()
+    method = _build(spec, data, disk)
+    disk_build = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    disk_outcomes = _run_workload(method, spec["kind"])
+    disk_query = time.perf_counter() - t0
+    disk_stats = disk.stats.as_dict()
+    io = disk.io_stats()
+    disk.close()
+
+    identical = sim_stats == disk_stats and sim_outcomes == disk_outcomes
+    return {
+        "structure": name,
+        "kind": spec["kind"],
+        "scale": len(data),
+        "page_size": page_size,
+        "pages": total_pages,
+        "pool_pages": pool_pages,
+        "fsync": fsync,
+        "identical": identical,
+        "totals": disk_stats,
+        "sim": {"build_seconds": sim_build, "query_seconds": sim_query},
+        "disk": {"build_seconds": disk_build, "query_seconds": disk_query},
+        "storage": io,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.storage.bench",
+        description="Larger-than-pool durable-backend identity + timing bench.",
+    )
+    parser.add_argument("--scale", type=int, default=20000, help="records")
+    parser.add_argument("--seed", type=int, default=7, help="data seed")
+    parser.add_argument(
+        "--pool-frac",
+        type=float,
+        default=0.1,
+        help="buffer pool budget as a fraction of the built page count",
+    )
+    parser.add_argument("--page-size", type=int, default=512)
+    parser.add_argument(
+        "--structures",
+        default=",".join(DEFAULT_STRUCTURES),
+        help="comma-separated fuzz-matrix structure names",
+    )
+    parser.add_argument(
+        "--fsync",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="fsync WAL commits (--no-fsync measures pure CPU/pool cost)",
+    )
+    parser.add_argument(
+        "--store-dir", default=None, help="keep store files here (default: tmp)"
+    )
+    parser.add_argument(
+        "--out",
+        default=None,
+        help="output JSON path (default: results/BENCH_STORAGE.json)",
+    )
+    parser.add_argument(
+        "--ledger",
+        default=None,
+        help="ledger destination (1/0/path; default: REPRO_LEDGER)",
+    )
+    args = parser.parse_args(argv)
+
+    names = [n.strip() for n in args.structures.split(",") if n.strip()]
+    unknown = [n for n in names if n not in STRUCTURES]
+    if unknown:
+        parser.error(f"unknown structures {unknown}; choose from {sorted(STRUCTURES)}")
+
+    records = []
+    failures = 0
+    for name in names:
+        record = bench_structure(
+            name,
+            args.scale,
+            seed=args.seed,
+            pool_frac=args.pool_frac,
+            page_size=args.page_size,
+            fsync=args.fsync,
+            directory=args.store_dir,
+        )
+        records.append(record)
+        pool = record["storage"]["pool"]
+        flag = "ok " if record["identical"] else "DIVERGED"
+        print(
+            f"{name:8s} {flag} scale={record['scale']} pages={record['pages']} "
+            f"pool={record['pool_pages']} hit_rate={pool['hit_rate']:.3f} "
+            f"build {record['sim']['build_seconds']:.2f}s sim / "
+            f"{record['disk']['build_seconds']:.2f}s disk, "
+            f"queries {record['sim']['query_seconds']:.2f}s sim / "
+            f"{record['disk']['query_seconds']:.2f}s disk"
+        )
+        if not record["identical"]:
+            failures += 1
+
+    payload = {
+        "schema": BENCH_SCHEMA,
+        "scale": args.scale,
+        "page_size": args.page_size,
+        "pool_frac": args.pool_frac,
+        "seed": args.seed,
+        "structures": records,
+    }
+    out = Path(args.out) if args.out else results_dir() / "BENCH_STORAGE.json"
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {out}")
+
+    from repro.obs.ledger import entry_from_timers, resolve_ledger
+
+    ledger = resolve_ledger(args.ledger)
+    if ledger is not None and not failures:
+        timers = {}
+        totals = {}
+        for record in records:
+            timers[f"{record['structure']}/build"] = record["disk"]["build_seconds"]
+            timers[f"{record['structure']}/queries"] = record["disk"]["query_seconds"]
+            totals[record["structure"]] = record["totals"]
+        entry = entry_from_timers(
+            label="storage-disk",
+            source="storage-bench",
+            kind="storage",
+            timers=timers,
+            totals=totals,
+            page_size=args.page_size,
+            scale=args.scale,
+            seed=args.seed,
+            meta={
+                "pool_frac": args.pool_frac,
+                "fsync": args.fsync,
+                "storage": {r["structure"]: r["storage"] for r in records},
+            },
+        )
+        ledger.record(entry)
+        print(f"ledger: recorded {entry.run_id} to {ledger.path}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

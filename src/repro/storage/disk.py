@@ -1,0 +1,979 @@
+"""Durable on-disk page store: page file, buffer manager, WAL recovery.
+
+:class:`DiskPageStore` implements the :class:`~repro.storage.pagestore.PageStore`
+interface over real files, so builds and queries can run
+larger-than-memory while the *charged* access statistics stay
+bit-identical to the simulated store.  The identity is by construction:
+the base class reads every page object through ``self._objects[pid]`` —
+as do the access methods' uncharged fast paths — and this subclass
+swaps that dict for a :class:`BufferPool`, a bounded dict-like whose
+``__getitem__`` faults pages in from disk.  None of the inherited
+charging logic (pinned pages, the search-path buffer, write
+deduplication, observer events) is touched, so whether an access is
+*charged* never depends on whether it was *physical*.
+
+On disk a store is a directory of three files:
+
+* ``pages.dat`` — fixed-size slots, one per page id (``offset =
+  header + pid * slot_size``); each slot holds a length/CRC32/kind
+  header plus the pickled page payload.  Page ids are never reused, so
+  the file is sparse where pages were freed.
+* ``wal.log`` — the write-ahead log (:mod:`repro.storage.wal`).  A
+  commit appends full after-images of every page dirtied since the
+  last commit, then an fsynced commit record.
+* ``store.meta`` — the checkpoint sidecar: the page table (pid →
+  kind, CRC, length), the allocation cursor, the pinned set and an
+  opaque application blob, rewritten atomically (tmp + rename) at
+  every checkpoint.
+
+Write ordering (no-steal / redo-only):
+
+1. Uncommitted dirty pages live only in the buffer pool; they are
+   never evicted and never reach the page file.
+2. ``commit()`` logs their after-images to the WAL and fsyncs.  From
+   here the change is durable; the frames become clean.
+3. Clean committed pages may be evicted; eviction writes the page into
+   its slot (no fsync needed — the WAL already covers it).
+4. ``checkpoint()`` flushes every WAL-only page to its slot, fsyncs the
+   page file, atomically rewrites ``store.meta`` and truncates the WAL.
+
+Recovery replays committed WAL records over the page file (full-page
+redo is idempotent), truncates any torn or uncommitted tail, restores
+the allocation cursor and pinned set from the last commit record and
+ends with a checkpoint, so a recovered store is indistinguishable from
+one that shut down cleanly at its last commit boundary.
+
+Two safety nets guard the one behaviour a real buffer manager adds over
+the simulated store — page objects can *leave* memory:
+
+* **Silent-mutation detection.**  Access methods occasionally mutate a
+  page without charging a write (the store cannot see attribute
+  assignments).  Commits and evictions therefore re-serialise touched
+  clean pages and compare CRCs; a drifted page is re-classified dirty
+  and logged, never dropped.
+* **Poison mode** (``poison=True``) strips every attribute from an
+  evicted page object, so any access method that illegally retained a
+  reference across operations fails loudly (``AttributeError``)
+  instead of reading stale state.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import pickle
+import struct
+import zlib
+from pathlib import Path
+from typing import Any, Iterator
+
+from repro.storage.io import FileHandle, IOProvider, OsFileIO
+from repro.storage.page import PageKind
+from repro.storage.pagestore import PageStore
+from repro.storage.wal import WAL_MAGIC, WriteAheadLog
+
+__all__ = [
+    "AliasingError",
+    "BufferPool",
+    "CorruptionError",
+    "DiskPageStore",
+    "PageFile",
+    "PageOverflowError",
+    "default_slot_size",
+    "poison_page",
+    "restore_method",
+    "snapshot_method",
+]
+
+#: Pickle protocol for page payloads; fixed so that the CRC of an
+#: unchanged object is reproducible within a process and across runs.
+_PICKLE_PROTOCOL = 4
+
+META_FORMAT = "repro.storage/disk-meta/v1"
+
+
+class CorruptionError(RuntimeError):
+    """A page failed its checksum and no WAL record can heal it."""
+
+
+class PageOverflowError(ValueError):
+    """A pickled page payload does not fit its fixed-size slot."""
+
+
+class AliasingError(RuntimeError):
+    """``write(pid)`` reached a page whose object is no longer resident.
+
+    The caller mutated a page object obtained in an earlier operation
+    after the pool evicted it — the classic mutable-page aliasing bug
+    the simulated store can never surface.
+    """
+
+
+def default_slot_size(page_size: int) -> int:
+    """Slot bytes for a logical page size.
+
+    Pickled Python payloads are several times larger than the paper's
+    packed binary layout (§3 capacities are arithmetic, not physical),
+    so slots default to 16x the logical page, rounded up to a 4 KiB
+    multiple.
+    """
+    raw = 16 * page_size + PageFile.SLOT_HEADER
+    return max(4096, -(-raw // 4096) * 4096)
+
+
+def _dumps(obj: Any) -> bytes:
+    return pickle.dumps(obj, protocol=_PICKLE_PROTOCOL)
+
+
+def poison_page(obj: Any) -> None:
+    """Strip every attribute so stale references fail on first use."""
+    for cls in type(obj).__mro__:
+        for slot in getattr(cls, "__slots__", ()):
+            if isinstance(slot, str) and not slot.startswith("__"):
+                try:
+                    delattr(obj, slot)
+                except AttributeError:
+                    pass
+    d = getattr(obj, "__dict__", None)
+    if d is not None:
+        d.clear()
+
+
+# -- the page file -----------------------------------------------------------
+
+
+_KIND_BYTES = {PageKind.DATA: 1, PageKind.DIRECTORY: 2}
+_BYTE_KINDS = {v: k for k, v in _KIND_BYTES.items()}
+
+
+class PageFile:
+    """Fixed-size slotted page file: ``slot(pid) = header + pid * slot_size``."""
+
+    MAGIC = b"RPGF"
+    VERSION = 1
+    _FILE_HEADER = struct.Struct("<4sIII")
+    HEADER_SIZE = 16
+    #: Per-slot header: payload length, CRC32, kind byte, 7 pad bytes.
+    _SLOT_HEADER = struct.Struct("<IIB7x")
+    SLOT_HEADER = 16
+
+    def __init__(
+        self,
+        path: str | Path,
+        io: IOProvider,
+        slot_size: int,
+        page_size: int,
+        fresh: bool = False,
+    ):
+        self.path = Path(path)
+        self.io = io
+        self._fh: FileHandle = io.open(self.path)
+        self.reads = 0
+        self.writes = 0
+        self.bytes_read = 0
+        self.bytes_written = 0
+        if fresh and self._fh.size() != 0:
+            # A crashed creation can leave a partial (even bit-flipped)
+            # header behind; the caller says nothing here was ever
+            # committed, so start over instead of validating garbage.
+            self._fh.truncate(0)
+        if self._fh.size() == 0:
+            self.slot_size = slot_size
+            self.page_size = page_size
+            header = self._FILE_HEADER.pack(
+                self.MAGIC, self.VERSION, slot_size, page_size
+            )
+            self._fh.pwrite(header, 0)
+        else:
+            header = self._fh.pread(self._FILE_HEADER.size, 0)
+            magic, version, file_slot, file_page = self._FILE_HEADER.unpack(header)
+            if magic != self.MAGIC or version != self.VERSION:
+                raise CorruptionError(f"{self.path}: not a page file")
+            self.slot_size = file_slot
+            self.page_size = file_page
+
+    @property
+    def payload_capacity(self) -> int:
+        return self.slot_size - self.SLOT_HEADER
+
+    def _offset(self, pid: int) -> int:
+        return self.HEADER_SIZE + pid * self.slot_size
+
+    def write_slot(self, pid: int, kind: PageKind, payload: bytes) -> int:
+        """Write one page image; returns the payload's CRC32."""
+        if len(payload) > self.payload_capacity:
+            raise PageOverflowError(
+                f"page {pid}: pickled payload of {len(payload)} bytes exceeds "
+                f"the {self.payload_capacity}-byte slot capacity; reopen the "
+                f"store with a larger slot_size"
+            )
+        crc = zlib.crc32(payload)
+        slot = self._SLOT_HEADER.pack(len(payload), crc, _KIND_BYTES[kind]) + payload
+        self._fh.pwrite(slot, self._offset(pid))
+        self.writes += 1
+        self.bytes_written += len(slot)
+        return crc
+
+    def read_slot(self, pid: int, expected_crc: int | None = None) -> tuple[PageKind, bytes]:
+        """Read and checksum one page image."""
+        header = self._fh.pread(self.SLOT_HEADER, self._offset(pid))
+        if len(header) < self.SLOT_HEADER:
+            raise CorruptionError(f"page {pid}: slot missing from {self.path}")
+        length, crc, kind_byte = self._SLOT_HEADER.unpack(header)
+        if kind_byte not in _BYTE_KINDS or length > self.payload_capacity:
+            raise CorruptionError(f"page {pid}: slot header corrupted")
+        payload = self._fh.pread(length, self._offset(pid) + self.SLOT_HEADER)
+        self.reads += 1
+        self.bytes_read += self.SLOT_HEADER + length
+        if len(payload) < length or zlib.crc32(payload) != crc:
+            raise CorruptionError(f"page {pid}: payload checksum mismatch (torn write?)")
+        if expected_crc is not None and crc != expected_crc:
+            raise CorruptionError(
+                f"page {pid}: slot holds stale or foreign image "
+                f"(crc {crc:#x}, page table expects {expected_crc:#x})"
+            )
+        return _BYTE_KINDS[kind_byte], payload
+
+    def read_raw(self) -> bytes:
+        """The whole file (for snapshot export)."""
+        return self._fh.pread(self._fh.size(), 0)
+
+    def fsync(self) -> None:
+        self._fh.fsync()
+
+    def close(self) -> None:
+        self._fh.close()
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "reads": self.reads,
+            "writes": self.writes,
+            "bytes_read": self.bytes_read,
+            "bytes_written": self.bytes_written,
+        }
+
+
+# -- the buffer pool ---------------------------------------------------------
+
+
+class _Frame:
+    """One resident page: the live object, its clock bit, its dirt."""
+
+    __slots__ = ("obj", "ref", "dirty")
+
+    def __init__(self, obj: Any, dirty: bool):
+        self.obj = obj
+        self.ref = True
+        self.dirty = dirty
+
+
+class _PageMeta:
+    """Page-table entry: where the page's durable image lives."""
+
+    __slots__ = ("kind", "crc", "length", "on_disk", "durable")
+
+    def __init__(self):
+        self.kind: PageKind | None = None
+        self.crc: int | None = None
+        self.length: int = 0
+        #: The page-file slot holds the latest committed image.
+        self.on_disk = False
+        #: Some durable image exists (slot or WAL) — freeing the page
+        #: must therefore be logged.
+        self.durable = False
+
+
+class BufferPool:
+    """A bounded, dict-like page cache with CLOCK eviction.
+
+    The pool *is* the store's ``_objects`` mapping: its keys are every
+    live page id (the full page table), its values the page objects,
+    faulted in from the page file on demand.  Iteration, ``len`` and
+    ``in`` therefore see all live pages, exactly like the simulated
+    store's plain dict — only *residency* is bounded.
+
+    Eviction rules, in order:
+
+    * pinned pages and dirty (uncommitted) pages are never evicted;
+    * pages touched by the current operation are never evicted either:
+      the access method may hold their objects right now (and mutate
+      them ahead of the ``write`` call), so they stay resident until
+      the next operation bracket — the simulated store's read-mutate-
+      write-within-an-op contract survives unchanged;
+    * every candidate is re-serialised and CRC-checked against its
+      committed image (``paranoid`` mode, on by default): a page that
+      was silently mutated is re-classified dirty instead of evicted;
+    * if no frame at all is evictable the pool overflows (grows past
+      its budget) rather than corrupt anything, and counts it — the
+      budget bounds steady-state residency, a single operation's
+      working set bounds the excursion.
+    """
+
+    def __init__(
+        self,
+        store: "DiskPageStore",
+        pagefile: PageFile,
+        budget: int,
+        *,
+        paranoid: bool = True,
+        poison: bool = False,
+    ):
+        if budget < 4:
+            raise ValueError("pool budget must be at least 4 pages")
+        self.store = store
+        self.pagefile = pagefile
+        self.budget = budget
+        self.paranoid = paranoid
+        self.poison = poison
+        self.frames: dict[int, _Frame] = {}
+        self.pages: dict[int, _PageMeta] = {}
+        self.dirty: set[int] = set()
+        #: Pages handed out (mutably) since the last commit; commit
+        #: CRC-checks the clean resident ones for silent mutations.
+        self.touched: set[int] = set()
+        #: Pages handed out during the *current operation*.  Their
+        #: objects may be held (and mutated ahead of their ``write``)
+        #: by the access method right now, so they are unevictable
+        #: until the next operation bracket clears the set.
+        self.op_touched: set[int] = set()
+        #: Durable pages freed since the last commit.
+        self.freed: set[int] = set()
+        self._ring: list[int] = []
+        self._hand = 0
+        #: Page currently being faulted in; the caller is about to
+        #: receive its object, so the clock must never pick it — even
+        #: when every other frame is unevictable and the sweep wraps.
+        self._admitting: int | None = None
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.peek_loads = 0
+        self.overflows = 0
+        self.silent_dirty = 0
+
+    # -- mapping protocol (what PageStore and access methods use) ----------
+
+    def __getitem__(self, pid: int) -> Any:
+        frame = self.frames.get(pid)
+        if frame is not None:
+            frame.ref = True
+            self.hits += 1
+            self.touched.add(pid)
+            self.op_touched.add(pid)
+            return frame.obj
+        obj = self._load(pid)
+        self.misses += 1
+        self.touched.add(pid)
+        self.op_touched.add(pid)
+        self._admit(pid, obj, dirty=False)
+        return obj
+
+    def __setitem__(self, pid: int, obj: Any) -> None:
+        self.touched.add(pid)
+        self.op_touched.add(pid)
+        frame = self.frames.get(pid)
+        if frame is not None:
+            frame.obj = obj
+            frame.ref = True
+            frame.dirty = True
+            self.dirty.add(pid)
+            return
+        if pid not in self.pages:
+            self.pages[pid] = _PageMeta()
+        self._admit(pid, obj, dirty=True)
+
+    def __delitem__(self, pid: int) -> None:
+        meta = self.pages.pop(pid)  # KeyError on a dead pid, like a dict
+        self.frames.pop(pid, None)
+        self.dirty.discard(pid)
+        self.touched.discard(pid)
+        self.op_touched.discard(pid)
+        if meta.durable:
+            self.freed.add(pid)
+
+    def __contains__(self, pid: object) -> bool:
+        return pid in self.pages
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.pages)
+
+    def __len__(self) -> int:
+        return len(self.pages)
+
+    def keys(self):
+        return self.pages.keys()
+
+    # -- faulting and eviction ---------------------------------------------
+
+    def _load(self, pid: int) -> Any:
+        meta = self.pages.get(pid)
+        if meta is None:
+            raise KeyError(pid)
+        # Invariant: a non-resident page always has a current slot image
+        # (dirty pages are unevictable; WAL-only pages are written to
+        # their slot as part of eviction).
+        kind, payload = self.pagefile.read_slot(pid, expected_crc=meta.crc)
+        return pickle.loads(payload)
+
+    def peek(self, pid: int) -> Any:
+        """The page object without promotion: no clock touch, no admission."""
+        frame = self.frames.get(pid)
+        if frame is not None:
+            return frame.obj
+        meta = self.pages.get(pid)
+        if meta is None:
+            raise KeyError(pid)
+        _, payload = self.pagefile.read_slot(pid, expected_crc=meta.crc)
+        self.peek_loads += 1
+        return pickle.loads(payload)
+
+    def mark_dirty(self, pid: int) -> None:
+        frame = self.frames[pid]
+        frame.dirty = True
+        self.dirty.add(pid)
+
+    def _admit(self, pid: int, obj: Any, dirty: bool) -> None:
+        self.frames[pid] = _Frame(obj, dirty)
+        if dirty:
+            self.dirty.add(pid)
+        self._ring.append(pid)
+        self._admitting = pid
+        try:
+            while len(self.frames) > self.budget:
+                if not self._evict_one():
+                    break
+        finally:
+            self._admitting = None
+
+    def begin_op(self) -> None:
+        """New operation bracket: the previous operation's working set
+        becomes evictable again."""
+        self.op_touched.clear()
+
+    def _unevictable(self, pid: int, frame: _Frame) -> bool:
+        return (
+            frame.dirty
+            or pid == self._admitting
+            or pid in self.op_touched
+            or pid in self.store._pinned
+        )
+
+    def _evict_one(self) -> bool:
+        if self._sweep():
+            return True
+        self.overflows += 1
+        return False
+
+    def _sweep(self) -> bool:
+        ring = self._ring
+        frames = self.frames
+        steps = 0
+        max_steps = 2 * len(ring) + 1
+        while ring and steps < max_steps:
+            if self._hand >= len(ring):
+                self._hand = 0
+            pid = ring[self._hand]
+            frame = frames.get(pid)
+            if frame is None:  # freed or already evicted; drop the stale entry
+                ring.pop(self._hand)
+                continue
+            steps += 1
+            if self._unevictable(pid, frame):
+                self._hand += 1
+                continue
+            if frame.ref:
+                frame.ref = False
+                self._hand += 1
+                continue
+            if self._evict(pid, frame):
+                ring.pop(self._hand)
+                return True
+            self._hand += 1
+        return False
+
+    def _evict(self, pid: int, frame: _Frame) -> bool:
+        """Write back (if needed) and drop one clean frame.
+
+        Returns ``False`` — and re-classifies the page dirty — when the
+        serialise-and-check pass finds the object drifted from its
+        committed image (a mutation the store was never told about).
+        """
+        meta = self.pages[pid]
+        payload = None
+        if self.paranoid or not meta.on_disk:
+            payload = _dumps(frame.obj)
+            if zlib.crc32(payload) != meta.crc or len(payload) != meta.length:
+                self.silent_dirty += 1
+                self.mark_dirty(pid)
+                return False
+        if not meta.on_disk:
+            self.pagefile.write_slot(pid, self.store._kinds[pid], payload)
+            meta.on_disk = True
+        if self.poison:
+            poison_page(frame.obj)
+        del self.frames[pid]
+        self.dirty.discard(pid)
+        self.evictions += 1
+        return True
+
+    def flush_to_slots(self) -> None:
+        """Write every WAL-only resident page into its slot (checkpoint)."""
+        for pid, frame in self.frames.items():
+            meta = self.pages[pid]
+            if meta.on_disk or frame.dirty:
+                continue
+            payload = _dumps(frame.obj)
+            if zlib.crc32(payload) != meta.crc or len(payload) != meta.length:
+                raise AliasingError(
+                    f"page {pid} drifted from its committed image during a "
+                    f"checkpoint flush; a mutation bypassed write()"
+                )
+            self.pagefile.write_slot(pid, self.store._kinds[pid], payload)
+            meta.on_disk = True
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "budget": self.budget,
+            "resident": len(self.frames),
+            "pages": len(self.pages),
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "peek_loads": self.peek_loads,
+            "overflows": self.overflows,
+            "silent_dirty": self.silent_dirty,
+        }
+
+    @property
+    def hit_rate(self) -> float:
+        probes = self.hits + self.misses
+        return self.hits / probes if probes else 1.0
+
+
+# -- the durable store -------------------------------------------------------
+
+
+class DiskPageStore(PageStore):
+    """A :class:`PageStore` whose pages live in a real file behind a pool.
+
+    Parameters
+    ----------
+    path:
+        Directory holding the store's three files; created when absent.
+        Reopening a non-empty directory recovers it (WAL replay).
+    pool_pages:
+        Buffer-pool budget in pages.
+    slot_size:
+        On-disk bytes per page slot (pickled payloads are larger than
+        the logical ``page_size``); adopted from the existing file when
+        reopening.  Defaults to :func:`default_slot_size`.
+    io:
+        An :class:`~repro.storage.io.IOProvider`; tests pass
+        :class:`~repro.storage.io.FaultInjectingIO`.
+    fsync:
+        Whether commits fsync the WAL.  Keep ``True`` wherever
+        durability is the point; benches may trade it away.
+    paranoid / poison:
+        Buffer-pool safety nets, see :class:`BufferPool`.
+    wal_checkpoint_bytes:
+        Auto-checkpoint once the WAL grows past this size.
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        page_size: int = 512,
+        *,
+        pool_pages: int = 128,
+        slot_size: int | None = None,
+        path_buffer_limit: int = 6,
+        vector: bool | None = None,
+        io: IOProvider | None = None,
+        fsync: bool = True,
+        paranoid: bool = True,
+        poison: bool = False,
+        wal_checkpoint_bytes: int = 64 << 20,
+    ):
+        super().__init__(page_size, path_buffer_limit, vector)
+        self.path = Path(path)
+        self.path.mkdir(parents=True, exist_ok=True)
+        self.io = io if io is not None else OsFileIO()
+        self.fsync_on_commit = fsync
+        self.wal_checkpoint_bytes = wal_checkpoint_bytes
+        self.commits = 0
+        self.checkpoints = 0
+        self.recovered = False
+        self.recovered_torn_tail = False
+        #: The opaque blob last committed via ``commit(meta=...)``; after
+        #: recovery, the blob of the last committed transaction.
+        self.meta_blob: Any = None
+        self._pin_dirty = False
+        self._closed = False
+        self._in_checkpoint = False
+
+        # The sidecar is the store's existence ground truth: it lands
+        # (atomically) only after the page file and WAL headers are
+        # durable, so without it any pages.dat / wal.log content is
+        # debris from a creation that crashed mid-flight.
+        had_meta = self.io.exists(self._meta_path)
+        self._pagefile = PageFile(
+            self.path / "pages.dat",
+            self.io,
+            slot_size if slot_size is not None else default_slot_size(page_size),
+            page_size,
+            fresh=not had_meta,
+        )
+        if self._pagefile.page_size != page_size:
+            raise ValueError(
+                f"{self.path}: store was created with page_size="
+                f"{self._pagefile.page_size}, not {page_size}"
+            )
+        self._wal = WriteAheadLog(self.path / "wal.log", self.io)
+        pool = BufferPool(
+            self, self._pagefile, pool_pages, paranoid=paranoid, poison=poison
+        )
+        self._objects = pool  # type: ignore[assignment]  (dict-like)
+        if had_meta:
+            self._recover()
+        else:
+            if self._wal.size > len(WAL_MAGIC) + 4:
+                self._wal.reset()  # debris from a crashed creation
+            self._write_sidecar()
+
+    # -- paths -------------------------------------------------------------
+
+    @property
+    def _meta_path(self) -> Path:
+        return self.path / "store.meta"
+
+    @property
+    def pool(self) -> BufferPool:
+        return self._objects  # type: ignore[return-value]
+
+    # -- PageStore overrides ------------------------------------------------
+
+    def write(self, pid: int) -> None:
+        pool = self.pool
+        if pid not in pool.frames:
+            if pid not in pool.pages:
+                raise KeyError(pid)
+            raise AliasingError(
+                f"write({pid}) after the page was evicted: the caller mutated "
+                f"a page object it retained across operations"
+            )
+        super().write(pid)
+        pool.mark_dirty(pid)
+
+    def peek(self, pid: int) -> Any:
+        return self.pool.peek(pid)
+
+    def pin(self, pid: int) -> None:
+        # A pinned page must be resident (it is unevictable from now on).
+        if pid in self.pool.pages and pid not in self.pool.frames:
+            self._objects[pid]
+        if pid not in self._pinned:
+            self._pin_dirty = True
+        super().pin(pid)
+
+    def unpin(self, pid: int) -> None:
+        if pid in self._pinned:
+            self._pin_dirty = True
+        super().unpin(pid)
+
+    def begin_operation(self) -> None:
+        """Operation brackets are commit boundaries: the previous
+        operation's changes become durable before the next one starts,
+        and its working set becomes evictable again."""
+        self.commit()
+        super().begin_operation()
+        self.pool.begin_op()
+
+    # -- durability ---------------------------------------------------------
+
+    def commit(self, meta: Any | None = None) -> bool:
+        """Make everything since the last commit durable; returns whether
+        a commit record was written (no-change commits are free).
+
+        ``meta`` rides along as an opaque pickled blob — the crash
+        harness stores access-method state here so recovery can rebuild
+        the method object next to its pages.
+        """
+        pool = self.pool
+        if not (pool.dirty or pool.freed or self._pin_dirty or meta is not None):
+            return False
+        payloads: dict[int, bytes] = {}
+        # Silent-mutation scan: any page handed out since the last commit
+        # may have been mutated without a write(); re-serialise the clean
+        # resident ones and promote drifted pages to dirty.
+        for pid in pool.touched:
+            frame = pool.frames.get(pid)
+            if frame is None or frame.dirty:
+                continue
+            meta_entry = pool.pages.get(pid)
+            if meta_entry is None:
+                continue
+            payload = _dumps(frame.obj)
+            if (
+                zlib.crc32(payload) != meta_entry.crc
+                or len(payload) != meta_entry.length
+            ):
+                pool.silent_dirty += 1
+                pool.mark_dirty(pid)
+                payloads[pid] = payload
+        for pid in sorted(pool.dirty):
+            payload = payloads.get(pid)
+            if payload is None:
+                payload = _dumps(pool.frames[pid].obj)
+            if len(payload) > self._pagefile.payload_capacity:
+                raise PageOverflowError(
+                    f"page {pid}: pickled payload of {len(payload)} bytes "
+                    f"exceeds the slot capacity "
+                    f"{self._pagefile.payload_capacity}; reopen with a "
+                    f"larger slot_size"
+                )
+            kind = self._kinds[pid]
+            self._wal.append("page", pid, kind.value, payload)
+            entry = pool.pages[pid]
+            entry.kind = kind
+            entry.crc = zlib.crc32(payload)
+            entry.length = len(payload)
+            entry.on_disk = False
+            entry.durable = True
+        for pid in sorted(pool.freed):
+            self._wal.append("free", pid)
+        if meta is not None:
+            self._wal.append("meta", _dumps(meta))
+            self.meta_blob = meta
+        self._wal.commit(self._next_id, self._pinned, fsync=self.fsync_on_commit)
+        for pid in pool.dirty:
+            pool.frames[pid].dirty = False
+        pool.dirty.clear()
+        pool.freed.clear()
+        pool.touched.clear()
+        self._pin_dirty = False
+        self.commits += 1
+        if (
+            not self._in_checkpoint
+            and self._wal.size >= self.wal_checkpoint_bytes
+        ):
+            self.checkpoint()
+        return True
+
+    def checkpoint(self) -> None:
+        """Flush everything to the page file, rewrite the sidecar, reset
+        the WAL.  After a checkpoint the WAL is empty and every live
+        page's slot holds its committed image."""
+        self._in_checkpoint = True
+        try:
+            self.commit()
+            self.pool.flush_to_slots()
+            self._pagefile.fsync()
+            self._write_sidecar()
+            self._wal.reset()
+            self.checkpoints += 1
+        finally:
+            self._in_checkpoint = False
+
+    def close(self) -> None:
+        """Checkpoint and release the file handles."""
+        if self._closed:
+            return
+        self.checkpoint()
+        self._wal.close()
+        self._pagefile.close()
+        self._closed = True
+
+    def __enter__(self) -> "DiskPageStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __reduce__(self):
+        raise TypeError(
+            "DiskPageStore holds open file handles and cannot be pickled; "
+            "use export_snapshot() for a durable copy"
+        )
+
+    # -- sidecar and recovery ----------------------------------------------
+
+    def _sidecar_document(self) -> bytes:
+        pool = self.pool
+        pages = {}
+        for pid, entry in pool.pages.items():
+            if not entry.durable:
+                continue  # never committed: invisible to recovery, like the WAL
+            pages[str(pid)] = [entry.kind.value, entry.crc, entry.length]
+        doc = {
+            "format": META_FORMAT,
+            "page_size": self.page_size,
+            "slot_size": self._pagefile.slot_size,
+            "next_id": self._next_id,
+            "pinned": sorted(self._pinned),
+            "pages": pages,
+            "meta": (
+                base64.b64encode(_dumps(self.meta_blob)).decode("ascii")
+                if self.meta_blob is not None
+                else None
+            ),
+        }
+        return json.dumps(doc, separators=(",", ":")).encode("utf-8")
+
+    def _write_sidecar(self) -> None:
+        tmp = self._meta_path.with_suffix(".meta.tmp")
+        self.io.remove(tmp)
+        handle = self.io.open(tmp)
+        try:
+            payload = self._sidecar_document()
+            handle.pwrite(payload, 0)
+            handle.truncate(len(payload))
+            handle.fsync()
+        finally:
+            handle.close()
+        self.io.replace(tmp, self._meta_path)
+
+    def _recover(self) -> None:
+        handle = self.io.open(self._meta_path)
+        try:
+            raw = handle.pread(handle.size(), 0)
+        finally:
+            handle.close()
+        doc = json.loads(raw.decode("utf-8"))
+        if doc.get("format") != META_FORMAT:
+            raise CorruptionError(f"{self._meta_path}: unknown sidecar format")
+        if doc["page_size"] != self.page_size:
+            raise ValueError(
+                f"{self.path}: store was created with page_size="
+                f"{doc['page_size']}, not {self.page_size}"
+            )
+        pool = self.pool
+        for pid_str, (kind_value, crc, length) in doc["pages"].items():
+            pid = int(pid_str)
+            entry = _PageMeta()
+            entry.kind = PageKind(kind_value)
+            entry.crc = crc
+            entry.length = length
+            entry.on_disk = True
+            entry.durable = True
+            pool.pages[pid] = entry
+            self._kinds[pid] = entry.kind
+        self._next_id = doc["next_id"]
+        self._pinned = set(doc["pinned"])
+        if doc.get("meta"):
+            self.meta_blob = pickle.loads(base64.b64decode(doc["meta"]))
+
+        committed, commit_end, torn = self._wal.replay()
+        self.recovered_torn_tail = torn
+        for record in committed:
+            if record.kind == "page":
+                pid, kind_value, payload = record.fields
+                kind = PageKind(kind_value)
+                entry = pool.pages.get(pid)
+                if entry is None:
+                    entry = _PageMeta()
+                    pool.pages[pid] = entry
+                entry.kind = kind
+                entry.crc = self._pagefile.write_slot(pid, kind, payload)
+                entry.length = len(payload)
+                entry.on_disk = True
+                entry.durable = True
+                self._kinds[pid] = kind
+            elif record.kind == "free":
+                (pid,) = record.fields
+                pool.pages.pop(pid, None)
+                self._kinds.pop(pid, None)
+            elif record.kind == "meta":
+                (blob,) = record.fields
+                self.meta_blob = pickle.loads(blob)
+            elif record.kind == "commit":
+                next_id, pinned = record.fields
+                self._next_id = next_id
+                self._pinned = set(pinned)
+        self._wal.truncate_to(commit_end)
+        # End recovery at a checkpoint: page file current and durable,
+        # sidecar rewritten, WAL empty.
+        self._pagefile.fsync()
+        self._write_sidecar()
+        self._wal.reset()
+        # Pinned pages are resident by invariant; fault them in without
+        # touching the access statistics (nothing is charged yet anyway).
+        for pid in sorted(self._pinned):
+            if pid in pool.pages and pid not in pool.frames:
+                pool._admit(pid, pool._load(pid), dirty=False)
+        self.recovered = True
+
+    # -- snapshot export -----------------------------------------------------
+
+    def export_snapshot(self, dest: str | Path) -> Path:
+        """Checkpoint, then atomically copy the store into ``dest``.
+
+        The copy (page file + sidecar) is a complete, WAL-free store: a
+        ``DiskPageStore(dest)`` opens it read-write as of this moment.
+        """
+        self.checkpoint()
+        dest = Path(dest)
+        dest.mkdir(parents=True, exist_ok=True)
+        for name, payload in (
+            ("pages.dat", self._pagefile.read_raw()),
+            ("store.meta", self._sidecar_document()),
+        ):
+            tmp = dest / (name + ".tmp")
+            self.io.remove(tmp)
+            handle = self.io.open(tmp)
+            try:
+                handle.pwrite(payload, 0)
+                handle.truncate(len(payload))
+                handle.fsync()
+            finally:
+                handle.close()
+            self.io.replace(tmp, dest / name)
+        return dest
+
+    # -- observability -------------------------------------------------------
+
+    def io_stats(self) -> dict:
+        """Physical-IO counters for reports and the ledger (additive to
+        the charged :class:`AccessStats`, never a substitute)."""
+        pool = self.pool
+        return {
+            "backend": "disk",
+            "pool": {**pool.stats(), "hit_rate": round(pool.hit_rate, 6)},
+            "wal": self._wal.stats(),
+            "pagefile": self._pagefile.stats(),
+            "commits": self.commits,
+            "checkpoints": self.checkpoints,
+        }
+
+
+# -- access-method persistence helpers ---------------------------------------
+
+
+def snapshot_method(method) -> dict:
+    """A picklable snapshot of an access method's non-store state.
+
+    Access methods keep only value state (pids, counters, capacities,
+    in-core scales) outside the page store, so stripping the ``store``
+    attribute leaves a plain picklable dict.  Store it via
+    ``DiskPageStore.commit(meta=...)`` and rebuild with
+    :func:`restore_method` after recovery.
+    """
+    state = {k: v for k, v in method.__dict__.items() if k != "store"}
+    return {
+        "class": type(method),
+        "state": state,
+        # Store-level configuration the method's constructor applied:
+        # the constructor is bypassed on restore, so it must ride along
+        # (the 2-level grid file buffers 2 pages, not the default 6).
+        "path_buffer_limit": method.store.path_buffer_limit,
+    }
+
+
+def restore_method(store: PageStore, blob: dict):
+    """Rebuild an access method from :func:`snapshot_method` output."""
+    method = blob["class"].__new__(blob["class"])
+    method.__dict__.update(blob["state"])
+    method.store = store
+    limit = blob.get("path_buffer_limit")
+    if limit is not None:
+        store.path_buffer_limit = limit
+    return method

@@ -40,6 +40,7 @@ from repro.sam.overlapping import OverlappingPlop
 from repro.sam.rplustree import RPlusTree
 from repro.sam.rtree import RTree
 from repro.sam.transformation import TransformationSAM
+from repro.storage.factory import make_store
 from repro.storage.pagestore import PageStore
 from repro.verify.invariants import AuditError
 from repro.verify.oracle import PamOracle, SamOracle
@@ -286,9 +287,19 @@ def _mismatch(index, op, got, want) -> dict:
     )
 
 
-def run_ops(spec: dict, ops: list[list], audit_every: int) -> dict | None:
-    """Run ``ops`` differentially; returns a failure record or None."""
-    store = PageStore()
+def run_ops(
+    spec: dict,
+    ops: list[list],
+    audit_every: int,
+    store_factory: Callable[[], PageStore] | None = None,
+) -> dict | None:
+    """Run ``ops`` differentially; returns a failure record or None.
+
+    ``store_factory`` builds the page store under test; ``None`` defers
+    to :func:`repro.storage.factory.make_store` (and so to
+    ``REPRO_STORE_BACKEND``), keeping the simulated store the default.
+    """
+    store = store_factory() if store_factory is not None else make_store()
     am = spec["factory"](store)
     oracle = PamOracle() if spec["kind"] == "pam" else SamOracle()
     mutations = 0
@@ -412,19 +423,21 @@ def fuzz_structure(
     seed: int,
     audit_every: int,
     out_dir: Path,
+    store_factory: Callable[[], PageStore] | None = None,
 ) -> dict | None:
     """Fuzz one structure; on failure, shrink and write a reproducer."""
     spec = STRUCTURES[name]
     sseed = structure_seed(name, seed)
     ops = make_ops(spec, n_ops, sseed)
-    failure = run_ops(spec, ops, audit_every)
+    failure = run_ops(spec, ops, audit_every, store_factory)
     if failure is None:
         return None
     shrunk = shrink_ops(
-        lambda candidate: run_ops(spec, candidate, audit_every) is not None,
+        lambda candidate: run_ops(spec, candidate, audit_every, store_factory)
+        is not None,
         ops,
     )
-    final = run_ops(spec, shrunk, audit_every) or failure
+    final = run_ops(spec, shrunk, audit_every, store_factory) or failure
     out_dir.mkdir(parents=True, exist_ok=True)
     path = out_dir / f"{name.replace('*', 'star').replace('+', 'plus')}-seed{seed}.json"
     path.write_text(
@@ -476,7 +489,32 @@ def main(argv: list[str] | None = None) -> int:
         default="results/fuzz",
         help="directory for shrunk reproducers",
     )
+    parser.add_argument(
+        "--backend",
+        default=None,
+        choices=("sim", "disk"),
+        help="page-store backend (default: REPRO_STORE_BACKEND, else sim)",
+    )
+    parser.add_argument(
+        "--store-dir",
+        default=None,
+        help="base directory for disk-backend store files "
+        "(kept for post-mortems; default: a temporary directory)",
+    )
+    parser.add_argument(
+        "--pool-pages",
+        type=int,
+        default=None,
+        help="disk-backend buffer pool budget in pages",
+    )
     args = parser.parse_args(argv)
+    store_factory = None
+    if args.backend or args.store_dir or args.pool_pages:
+        store_factory = lambda: make_store(  # noqa: E731
+            backend=args.backend or "disk",
+            directory=args.store_dir,
+            pool_pages=args.pool_pages,
+        )
     names = (
         [n.strip() for n in args.structures.split(",") if n.strip()]
         if args.structures
@@ -491,7 +529,7 @@ def main(argv: list[str] | None = None) -> int:
     failures = 0
     for name in names:
         failure = fuzz_structure(
-            name, args.ops, args.seed, args.audit_every, out_dir
+            name, args.ops, args.seed, args.audit_every, out_dir, store_factory
         )
         if failure is None:
             print(f"{name:10s} ok   ({args.ops} ops)")

@@ -19,6 +19,7 @@ import pytest
 from hypothesis import HealthCheck, settings
 
 from repro.geometry.rect import Rect
+from repro.storage.factory import make_store
 from repro.storage.pagestore import PageStore
 
 settings.register_profile(
@@ -33,8 +34,13 @@ if os.environ.get("REPRO_CI") == "1":
 
 @pytest.fixture
 def store() -> PageStore:
-    """A fresh 512-byte page store."""
-    return PageStore()
+    """A fresh 512-byte page store.
+
+    Honours ``REPRO_STORE_BACKEND``, so ``REPRO_STORE_BACKEND=disk``
+    (optionally with ``REPRO_STORE_POISON=1``) runs every fixture-based
+    test against the durable backend.
+    """
+    return make_store()
 
 
 def make_points(n: int, seed: int = 0) -> list[tuple[float, float]]:

@@ -1,0 +1,384 @@
+"""Units for the durable storage stack: IO shim, WAL, page file, store.
+
+The crash *property* tests live in ``test_crash_recovery.py`` and the
+pool invariants in ``test_buffer_pool.py``; this file covers the
+mechanics those build on — framing, checksums, fault injection,
+lifecycle parity with the simulated store, checkpoint/snapshot export.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.storage.disk import (
+    AliasingError,
+    CorruptionError,
+    DiskPageStore,
+    PageFile,
+    PageOverflowError,
+    default_slot_size,
+    poison_page,
+    restore_method,
+    snapshot_method,
+)
+from repro.storage.io import FaultInjectingIO, InjectedCrash, OsFileIO
+from repro.storage.page import PageKind
+from repro.storage.pagestore import PageStore
+from repro.storage.wal import WriteAheadLog
+
+
+# -- fault-injecting IO ----------------------------------------------------
+
+
+class TestFaultInjectingIO:
+    def test_counts_writes_without_fail_after(self, tmp_path):
+        io = FaultInjectingIO()
+        h = io.open(tmp_path / "f")
+        h.pwrite(b"abc", 0)
+        h.pwrite(b"d", 3)
+        assert io.writes == 2
+        assert h.pread(4, 0) == b"abcd"
+        h.close()
+
+    def test_fail_stop_drops_the_scheduled_write(self, tmp_path):
+        io = FaultInjectingIO(fail_after=2, mode="stop")
+        h = io.open(tmp_path / "f")
+        h.pwrite(b"aaaa", 0)
+        with pytest.raises(InjectedCrash):
+            h.pwrite(b"bbbb", 4)
+        assert h.size() == 4  # the second write never landed
+
+    def test_torn_write_persists_a_strict_prefix(self, tmp_path):
+        io = FaultInjectingIO(fail_after=1, mode="torn", seed=3)
+        h = io.open(tmp_path / "f")
+        with pytest.raises(InjectedCrash):
+            h.pwrite(b"x" * 100, 0)
+        assert 1 <= h.size() < 100
+
+    def test_bit_flip_persists_corrupted_data(self, tmp_path):
+        io = FaultInjectingIO(fail_after=1, mode="flip", seed=5)
+        h = io.open(tmp_path / "f")
+        with pytest.raises(InjectedCrash):
+            h.pwrite(b"\x00" * 64, 0)
+        data = (tmp_path / "f").read_bytes()
+        assert len(data) == 64
+        assert sum(bin(b).count("1") for b in data) == 1  # exactly one bit
+
+    def test_dead_provider_refuses_everything(self, tmp_path):
+        io = FaultInjectingIO(fail_after=1)
+        h = io.open(tmp_path / "f")
+        with pytest.raises(InjectedCrash):
+            h.pwrite(b"x", 0)
+        with pytest.raises(InjectedCrash):
+            h.pread(1, 0)
+        with pytest.raises(InjectedCrash):
+            io.open(tmp_path / "g")
+
+    def test_determinism_per_seed(self, tmp_path):
+        def torn_size(seed):
+            io = FaultInjectingIO(fail_after=1, mode="torn", seed=seed)
+            h = io.open(tmp_path / f"f{seed}")
+            with pytest.raises(InjectedCrash):
+                h.pwrite(b"y" * 500, 0)
+            return h.size()
+
+        assert torn_size(11) == torn_size(11)
+
+
+# -- the WAL ----------------------------------------------------------------
+
+
+class TestWriteAheadLog:
+    def test_replay_returns_only_committed_groups(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal")
+        wal.append("page", 1, "data", b"one")
+        wal.commit(next_id=2, pinned=[0])
+        wal.append("page", 2, "data", b"two")  # never committed
+        wal.close()
+
+        wal = WriteAheadLog(tmp_path / "wal")
+        records, end, torn = wal.replay()
+        assert [r.kind for r in records] == ["page", "commit"]
+        assert records[0].fields == (1, "data", b"one")
+        assert records[1].fields == (2, [0])
+        assert not torn
+        wal.truncate_to(end)
+        assert wal.size == end
+
+    def test_torn_tail_is_detected_and_truncated(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal")
+        wal.append("page", 1, "data", b"x" * 50)
+        wal.commit(next_id=2, pinned=[])
+        end_of_commit = wal.size
+        wal.append("page", 2, "data", b"y" * 50)
+        wal.commit(next_id=3, pinned=[])
+        wal._fh.truncate(wal.size - 7)  # tear the last commit frame
+        wal.close()
+
+        wal = WriteAheadLog(tmp_path / "wal")
+        records, end, torn = wal.replay()
+        assert torn
+        assert end == end_of_commit
+        assert [r.kind for r in records] == ["page", "commit"]
+
+    def test_corrupt_frame_stops_replay(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal")
+        wal.append("page", 1, "data", b"clean")
+        wal.commit(next_id=2, pinned=[])
+        mid = wal.size
+        wal.append("page", 2, "data", b"doomed")
+        wal.commit(next_id=3, pinned=[])
+        # flip one payload byte of the second group
+        raw = bytearray((tmp_path / "wal").read_bytes())
+        raw[mid + 10] ^= 0xFF
+        (tmp_path / "wal").write_bytes(raw)
+        wal.close()
+
+        wal = WriteAheadLog(tmp_path / "wal")
+        records, end, torn = wal.replay()
+        assert torn and end == mid
+        assert [r.kind for r in records] == ["page", "commit"]
+
+    def test_reset_empties_the_log(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal")
+        wal.append("meta", b"blob")
+        wal.commit(next_id=9, pinned=[])
+        wal.reset()
+        records, _, torn = wal.replay()
+        assert records == [] and not torn
+
+    def test_rejects_foreign_file(self, tmp_path):
+        (tmp_path / "wal").write_bytes(b"NOTAWAL!")
+        with pytest.raises(ValueError, match="not a WAL"):
+            WriteAheadLog(tmp_path / "wal").replay()
+
+
+# -- the page file ----------------------------------------------------------
+
+
+class TestPageFile:
+    def test_roundtrip_and_crc(self, tmp_path):
+        pf = PageFile(tmp_path / "pages", OsFileIO(), 4096, 512)
+        crc = pf.write_slot(3, PageKind.DATA, b"payload")
+        kind, payload = pf.read_slot(3, expected_crc=crc)
+        assert kind is PageKind.DATA and payload == b"payload"
+
+    def test_overflow_is_loud(self, tmp_path):
+        pf = PageFile(tmp_path / "pages", OsFileIO(), 4096, 512)
+        with pytest.raises(PageOverflowError):
+            pf.write_slot(0, PageKind.DATA, b"x" * 4096)
+
+    def test_corrupted_payload_is_detected(self, tmp_path):
+        pf = PageFile(tmp_path / "pages", OsFileIO(), 4096, 512)
+        pf.write_slot(0, PageKind.DIRECTORY, b"sensitive")
+        raw = bytearray((tmp_path / "pages").read_bytes())
+        raw[PageFile.HEADER_SIZE + PageFile.SLOT_HEADER] ^= 0x01
+        (tmp_path / "pages").write_bytes(raw)
+        pf2 = PageFile(tmp_path / "pages", OsFileIO(), 4096, 512)
+        with pytest.raises(CorruptionError, match="checksum"):
+            pf2.read_slot(0)
+
+    def test_stale_slot_vs_page_table(self, tmp_path):
+        pf = PageFile(tmp_path / "pages", OsFileIO(), 4096, 512)
+        pf.write_slot(0, PageKind.DATA, b"old")
+        with pytest.raises(CorruptionError, match="stale"):
+            pf.read_slot(0, expected_crc=0xDEAD)
+
+    def test_default_slot_size_scales_with_page_size(self):
+        assert default_slot_size(512) >= 16 * 512
+        assert default_slot_size(8192) >= 16 * 8192
+        assert default_slot_size(512) % 4096 == 0
+
+
+# -- the durable store ------------------------------------------------------
+
+
+def _fresh(tmp_path, **kw):
+    kw.setdefault("pool_pages", 8)
+    return DiskPageStore(tmp_path / "store", **kw)
+
+
+class TestDiskPageStore:
+    def test_lifecycle_matches_simulated_semantics(self, tmp_path):
+        sim, disk = PageStore(), _fresh(tmp_path)
+        for store in (sim, disk):
+            store.begin_operation()
+            a = store.allocate(PageKind.DATA, [1])
+            b = store.allocate(PageKind.DIRECTORY, [2])
+            store.write(a)
+            store.write(b)
+            store.begin_operation()
+            assert store.read(a) == [1]
+            store.free(b)
+            assert store.page_ids() == [a]
+            assert store.kind(a) is PageKind.DATA
+        assert sim.stats == disk.stats
+
+    def test_reopen_recovers_committed_state(self, tmp_path):
+        store = _fresh(tmp_path)
+        store.begin_operation()
+        a = store.allocate(PageKind.DATA, ["alpha"])
+        store.write(a)
+        store.pin(a)
+        store.commit(meta={"tag": 42})
+        store.close()
+
+        back = _fresh(tmp_path)
+        assert back.recovered
+        assert back.meta_blob == {"tag": 42}
+        assert back.peek(a) == ["alpha"]
+        assert back.is_pinned(a)
+        # allocation cursor survives: new pages never reuse ids
+        assert back.allocate(PageKind.DATA, []) == a + 1
+
+    def test_uncommitted_tail_is_dropped_on_recovery(self, tmp_path):
+        io = FaultInjectingIO()
+        store = DiskPageStore(tmp_path / "store", pool_pages=8, io=io)
+        store.begin_operation()
+        a = store.allocate(PageKind.DATA, ["durable"])
+        store.write(a)
+        store.commit()
+        store.begin_operation()
+        store.read(a).append("lost")  # mutation after the last commit
+        store.write(a)
+        io.crashed = True  # die before the next commit
+
+        back = _fresh(tmp_path)
+        assert back.peek(a) == ["durable"]
+
+    def test_peek_is_uncharged_and_never_promotes(self, tmp_path):
+        store = _fresh(tmp_path)
+        pids = []
+        store.begin_operation()
+        for i in range(12):  # larger than the pool
+            pid = store.allocate(PageKind.DATA, [i])
+            store.write(pid)
+            pids.append(pid)
+        store.commit()
+        store.begin_operation()
+        extra = store.allocate(PageKind.DATA, ["extra"])  # admission evicts
+        store.write(extra)
+        evicted = [p for p in pids if p not in store.pool.frames]
+        assert evicted, "pool should have evicted something"
+        before = store.stats.snapshot()
+        target = evicted[0]
+        assert store.peek(target) == [pids.index(target)]
+        assert store.stats == before
+        assert target not in store.pool.frames
+
+    def test_write_without_residency_is_an_aliasing_error(self, tmp_path):
+        store = _fresh(tmp_path)
+        store.begin_operation()
+        a = store.allocate(PageKind.DATA, ["held"])
+        store.write(a)
+        store.commit()
+        store.begin_operation()
+        del store.pool.frames[a]  # simulate an eviction of the held page
+        store.pool._ring.remove(a)
+        with pytest.raises(AliasingError):
+            store.write(a)
+
+    def test_silent_mutation_is_committed_not_lost(self, tmp_path):
+        store = _fresh(tmp_path)
+        store.begin_operation()
+        a = store.allocate(PageKind.DATA, ["v1"])
+        b = store.allocate(PageKind.DATA, ["other"])
+        store.write(a)
+        store.write(b)
+        store.commit()
+        store.begin_operation()
+        store.read(a)[0] = "v2"  # mutate WITHOUT store.write(a)
+        store.write(b)  # some other write makes the commit happen
+        store.commit()
+        assert store.pool.silent_dirty == 1
+        store.close()
+        assert _fresh(tmp_path).peek(a) == ["v2"]
+
+    def test_checkpoint_empties_wal_and_survives_reopen(self, tmp_path):
+        store = _fresh(tmp_path)
+        store.begin_operation()
+        a = store.allocate(PageKind.DATA, list(range(10)))
+        store.write(a)
+        store.checkpoint()
+        assert store._wal.size == store._wal.committed_end
+        assert store.checkpoints == 1
+        store.close()
+        assert _fresh(tmp_path).peek(a) == list(range(10))
+
+    def test_export_snapshot_is_a_complete_store(self, tmp_path):
+        store = _fresh(tmp_path)
+        store.begin_operation()
+        a = store.allocate(PageKind.DATA, ["snap"])
+        store.write(a)
+        store.export_snapshot(tmp_path / "snap")
+        store.begin_operation()
+        store.read(a).append("after")  # diverge the original
+        store.write(a)
+        store.close()
+
+        copy = DiskPageStore(tmp_path / "snap", pool_pages=8)
+        assert copy.peek(a) == ["snap"]
+
+    def test_page_overflow_names_the_remedy(self, tmp_path):
+        store = DiskPageStore(tmp_path / "store", pool_pages=8, slot_size=4096)
+        store.begin_operation()
+        a = store.allocate(PageKind.DATA, ["x" * 8000])
+        store.write(a)
+        with pytest.raises(PageOverflowError, match="slot_size"):
+            store.commit()
+
+    def test_page_size_mismatch_is_rejected(self, tmp_path):
+        _fresh(tmp_path).close()
+        with pytest.raises(ValueError, match="page_size"):
+            DiskPageStore(tmp_path / "store", page_size=8192, pool_pages=8)
+
+    def test_store_is_not_picklable(self, tmp_path):
+        with pytest.raises(TypeError, match="cannot be pickled"):
+            pickle.dumps(_fresh(tmp_path))
+
+    def test_io_stats_shape(self, tmp_path):
+        store = _fresh(tmp_path)
+        stats = store.io_stats()
+        assert stats["backend"] == "disk"
+        for section in ("pool", "wal", "pagefile"):
+            assert isinstance(stats[section], dict)
+
+
+# -- method persistence helpers ---------------------------------------------
+
+
+def test_snapshot_and_restore_method(tmp_path):
+    from repro.pam.gridfile import GridFile
+
+    store = _fresh(tmp_path, pool_pages=16)
+    grid = GridFile(store)
+    for i in range(50):
+        grid.insert((i / 50.0, (i * 7 % 50) / 50.0), i)
+    blob = pickle.loads(pickle.dumps(snapshot_method(grid)))
+    store.commit()
+
+    clone = restore_method(store, blob)
+    assert sorted(clone.iter_records()) == sorted(grid.iter_records())
+    clone.audit()
+
+
+def test_poison_page_strips_slots_and_dict():
+    class Slotted:
+        __slots__ = ("x", "y")
+
+    class Plain:
+        pass
+
+    s = Slotted()
+    s.x, s.y = 1, 2
+    poison_page(s)
+    with pytest.raises(AttributeError):
+        _ = s.x
+
+    p = Plain()
+    p.z = 3
+    poison_page(p)
+    with pytest.raises(AttributeError):
+        _ = p.z
