@@ -316,6 +316,32 @@ class RunReport:
                     f"| {red.get('coverage', 0.0):.4f} "
                     f"| {red.get('utilisation', 0.0):.3f} |"
                 )
+        storage_rows = [
+            (name, entry["storage"])
+            for name, entry in self.structures.items()
+            if isinstance(entry.get("storage"), Mapping)
+        ]
+        if storage_rows:
+            lines += [
+                "",
+                "| structure | backend | hit rate | evictions | reads "
+                "| writes | wal bytes | commits | write amp |",
+                "| --- | --- | ---: | ---: | ---: | ---: | ---: | ---: "
+                "| ---: |",
+            ]
+            for name, st in storage_rows:
+                pool = st.get("pool", {})
+                pagefile = st.get("pagefile", {})
+                lines.append(
+                    f"| {name} | {st.get('backend', '?')} "
+                    f"| {pool.get('hit_rate', 0.0):.4f} "
+                    f"| {pool.get('evictions', 0)} "
+                    f"| {pagefile.get('reads', 0)} "
+                    f"| {pagefile.get('writes', 0)} "
+                    f"| {st.get('wal', {}).get('bytes', 0)} "
+                    f"| {st.get('commits', 0)} "
+                    f"| {st.get('write_amplification', 0.0):.2f} |"
+                )
         return "\n".join(lines)
 
     def _render_text(self) -> str:
@@ -338,6 +364,31 @@ class RunReport:
                     f"coverage={red.get('coverage', 0.0):.4f}  "
                     f"util={red.get('utilisation', 0.0):.3f}"
                 )
+            st = entry.get("storage")
+            if isinstance(st, Mapping):
+                pool = st.get("pool", {})
+                pagefile = st.get("pagefile", {})
+                wal = st.get("wal", {})
+                lines.append(
+                    "  storage "
+                    f"{st.get('backend', '?')}  "
+                    f"hit_rate={pool.get('hit_rate', 0.0):.4f}  "
+                    f"evictions={pool.get('evictions', 0)}  "
+                    f"reads={pagefile.get('reads', 0)}  "
+                    f"writes={pagefile.get('writes', 0)}  "
+                    f"wal_bytes={wal.get('bytes', 0)}  "
+                    f"commits={st.get('commits', 0)}  "
+                    f"wa={st.get('write_amplification', 0.0):.2f}"
+                )
+                fsync = (st.get("latency") or {}).get("storage.io.fsync_seconds")
+                if isinstance(fsync, Mapping) and fsync.get("count"):
+                    lines.append(
+                        "  fsync   "
+                        f"count={fsync['count']}  "
+                        f"p50={fsync['p50'] * 1e3:.3f}ms  "
+                        f"p99={fsync['p99'] * 1e3:.3f}ms  "
+                        f"max={fsync['max'] * 1e3:.3f}ms"
+                    )
             build = entry.get("build", {})
             hist = build.get("accesses_per_insert")
             if hist:
@@ -569,8 +620,15 @@ def validate_run_report(data: Mapping) -> list[str]:
                 f"{where}.snapshot: {p}" for p in validate_snapshot(snapshot)
             )
         storage = entry.get("storage")
-        if storage is not None and not isinstance(storage, Mapping):
-            problems.append(f"{where}.storage is not an object")
+        if storage is not None:
+            if not isinstance(storage, Mapping):
+                problems.append(f"{where}.storage is not an object")
+            else:
+                from repro.obs.telemetry import validate_io_stats
+
+                problems.extend(
+                    f"{where}.storage: {p}" for p in validate_io_stats(storage)
+                )
         build = entry.get("build")
         if not isinstance(build, Mapping) or not isinstance(
             build.get("metrics"), Mapping

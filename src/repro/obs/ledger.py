@@ -66,6 +66,8 @@ __all__ = [
     "entry_from_run_report",
     "entry_from_timers",
     "entry_from_bench_document",
+    "storage_io_totals",
+    "storage_latency_leaves",
     "default_ledger_path",
     "ledger_from_env",
     "resolve_ledger",
@@ -116,6 +118,7 @@ def collect_fingerprint(
     promote: str | None = None,
     commit: str | None = None,
     code: str | None = None,
+    storage: Mapping | None = None,
 ) -> dict:
     """Everything a run's performance legitimately depends on.
 
@@ -126,6 +129,13 @@ def collect_fingerprint(
     they never gate against untuned baselines.  ``code`` reuses the
     build cache's source fingerprint, so any edit anywhere in the
     package separates histories automatically.
+
+    ``storage`` describes a durable backend (at least ``backend``,
+    typically also the pool budget and fsync mode): a disk run must
+    never gate against a sim run's timings.  The key is **added only
+    when given** — simulated runs keep the exact historical dict shape,
+    so every previously recorded digest and pinned baseline stays
+    valid.
     """
     if vector is None:
         from repro.query.columnar import vector_enabled
@@ -137,7 +147,7 @@ def collect_fingerprint(
         from repro.parallel.cache import code_fingerprint
 
         code = code_fingerprint()
-    return {
+    fingerprint = {
         "git_commit": commit if commit is not None else _git_commit(),
         "code": code,
         "page_size": page_size,
@@ -147,6 +157,9 @@ def collect_fingerprint(
         "vector": str(vector),
         "vector_promote": str(promote),
     }
+    if storage is not None:
+        fingerprint["storage"] = dict(storage)
+    return fingerprint
 
 
 def fingerprint_digest(fingerprint: Mapping) -> str:
@@ -566,6 +579,43 @@ def gate_run(
 # -- entry builders ---------------------------------------------------------
 
 
+def storage_io_totals(storage: Mapping) -> dict:
+    """The deterministic projection of one ``io_stats()`` document.
+
+    Pool traffic, page-file and WAL counters, commit/checkpoint counts
+    and write amplification are pure functions of the workload under a
+    fixed fingerprint, so they belong in a ledger entry's ``totals``
+    (drift fails the gate outright).  Latency data deliberately stays
+    out — it is noise, and gates via ``*_seconds`` metric leaves.
+    """
+    pool = storage.get("pool", {})
+    return {
+        "backend": storage.get("backend"),
+        "pool_hits": pool.get("hits", 0),
+        "pool_misses": pool.get("misses", 0),
+        "evictions": pool.get("evictions", 0),
+        "hit_rate": pool.get("hit_rate", 0.0),
+        "pagefile_reads": storage.get("pagefile", {}).get("reads", 0),
+        "pagefile_writes": storage.get("pagefile", {}).get("writes", 0),
+        "wal_records": storage.get("wal", {}).get("records", 0),
+        "wal_bytes": storage.get("wal", {}).get("bytes", 0),
+        "commits": storage.get("commits", 0),
+        "checkpoints": storage.get("checkpoints", 0),
+        "write_amplification": storage.get("write_amplification", 0.0),
+    }
+
+
+def storage_latency_leaves(storage: Mapping) -> dict[str, float]:
+    """Gated ``*_seconds`` leaves from an ``io_stats()`` latency block."""
+    fsync = (storage.get("latency") or {}).get("storage.io.fsync_seconds")
+    if isinstance(fsync, Mapping) and fsync.get("count"):
+        return {
+            "fsync_p50_seconds": fsync["p50"],
+            "fsync_p99_seconds": fsync["p99"],
+        }
+    return {}
+
+
 def entry_from_timers(
     *,
     label: str,
@@ -638,9 +688,21 @@ def entry_from_run_report(
     redundancy drift under an identical fingerprint exactly like an
     access-count drift (both are deterministic, so any change is a
     behaviour change).
+
+    A structure entry carrying a ``storage`` block (durable backend)
+    contributes twice: the *deterministic* physical-IO counters (pool
+    hits/misses/evictions, page-file and WAL traffic, commits, write
+    amplification) fold into the structure's access totals — drift
+    under an identical fingerprint fails the gate outright — while the
+    *noisy* fsync latency percentiles land as ``*_seconds`` metric
+    leaves, gated at the usual regression threshold.  The fingerprint
+    additionally grows a ``storage`` key (backend + pool budget) so
+    disk runs never gate against sim history.
     """
     timers: dict[str, float] = {}
     totals: dict[str, dict] = {}
+    storage_fp: dict | None = None
+    latency_leaves: dict[str, dict[str, float]] = {}
     for name, entry in report.structures.items():
         timers[f"{name}/build"] = entry.get("build", {}).get("seconds", 0.0)
         timers[f"{name}/queries"] = sum(
@@ -650,7 +712,27 @@ def entry_from_run_report(
         redundancy = (entry.get("snapshot") or {}).get("redundancy")
         if isinstance(redundancy, Mapping):
             totals[name]["redundancy"] = dict(redundancy)
-    return entry_from_timers(
+        storage = entry.get("storage")
+        if not isinstance(storage, Mapping):
+            continue
+        if storage_fp is None:
+            storage_fp = {
+                "backend": storage.get("backend", "disk"),
+                "pool": storage.get("pool", {}).get("budget"),
+            }
+        totals[name]["storage_io"] = storage_io_totals(storage)
+        leaves = storage_latency_leaves(storage)
+        if leaves:
+            latency_leaves[name] = leaves
+    if fingerprint is None and storage_fp is not None:
+        fingerprint = collect_fingerprint(
+            page_size=report.page_size,
+            scale=report.scale,
+            seed=report.seed,
+            workers=workers,
+            storage=storage_fp,
+        )
+    ledger_entry = entry_from_timers(
         label=label or report.label,
         source=source,
         kind=report.kind,
@@ -664,6 +746,9 @@ def entry_from_run_report(
         meta=meta,
         fingerprint=fingerprint,
     )
+    for name, leaves in latency_leaves.items():
+        ledger_entry.metrics["structures"].setdefault(name, {}).update(leaves)
+    return ledger_entry
 
 
 def _scale_seconds(metrics, factor: float):

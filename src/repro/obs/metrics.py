@@ -18,7 +18,10 @@ import time
 
 __all__ = [
     "DEFAULT_ACCESS_BUCKETS",
+    "LATENCY_BUCKETS_SECONDS",
+    "SIZE_BUCKETS_BYTES",
     "Counter",
+    "Gauge",
     "Histogram",
     "MetricsRegistry",
     "Timer",
@@ -28,6 +31,31 @@ __all__ = [
 #: handful of accesses at laptop scale and a few thousand at the paper's
 #: 100 000 records, so a geometric ladder keeps every regime resolved.
 DEFAULT_ACCESS_BUCKETS = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096)
+
+#: A 1-2.5-5 decade ladder from one microsecond to ten seconds, for
+#: physical-IO latencies.  :data:`DEFAULT_ACCESS_BUCKETS` counts page
+#: accesses and resolves nothing below 1, which is useless for timings:
+#: a cached ``pread`` lands around 1-10 µs, a WAL ``fsync`` anywhere
+#: from ~50 µs (battery-backed cache) to tens of milliseconds (spinning
+#: disk), and a checkpoint can take whole seconds.  Three buckets per
+#: decade keeps every one of those regimes distinguishable without
+#: inflating export size.
+LATENCY_BUCKETS_SECONDS = (
+    1e-6, 2.5e-6, 5e-6,
+    1e-5, 2.5e-5, 5e-5,
+    1e-4, 2.5e-4, 5e-4,
+    1e-3, 2.5e-3, 5e-3,
+    1e-2, 2.5e-2, 5e-2,
+    0.1, 0.25, 0.5,
+    1.0, 2.5, 5.0, 10.0,
+)
+
+#: Power-of-four byte sizes from one sector to 64 MiB, for transfer and
+#: log-growth histograms (WAL appends, slot writes, checkpoint flushes).
+SIZE_BUCKETS_BYTES = (
+    256, 1024, 4096, 16384, 65536,
+    262144, 1048576, 4194304, 16777216, 67108864,
+)
 
 
 class Counter:
@@ -49,6 +77,45 @@ class Counter:
 
     def __repr__(self) -> str:
         return f"Counter({self.name!r}, value={self.value})"
+
+
+class Gauge:
+    """A point-in-time value: set directly, or computed by a callback.
+
+    Callback gauges (``Gauge("pool.resident", fn=lambda: len(frames))``)
+    cost nothing on the hot path — the value is only computed when the
+    gauge is *read* (by the flight recorder's sampling loop or an
+    export), which is the trick real metrics systems use to watch a
+    buffer pool without instrumenting every admission and eviction.
+    """
+
+    __slots__ = ("name", "_value", "_fn")
+
+    def __init__(self, name: str, fn=None):
+        self.name = name
+        self._value = 0.0
+        self._fn = fn
+
+    def set(self, value: float) -> None:
+        if self._fn is not None:
+            raise ValueError(f"gauge {self.name!r} is computed by a callback")
+        self._value = float(value)
+
+    def set_function(self, fn) -> None:
+        """(Re)bind the callback; the latest binding wins."""
+        self._fn = fn
+
+    @property
+    def value(self) -> float:
+        if self._fn is not None:
+            return float(self._fn())
+        return self._value
+
+    def as_dict(self) -> dict:
+        return {"value": self.value}
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name!r}, value={self.value})"
 
 
 class Histogram:
@@ -175,6 +242,7 @@ class MetricsRegistry:
 
     def __init__(self):
         self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
         self._histograms: dict[str, Histogram] = {}
         self._timers: dict[str, Timer] = {}
 
@@ -184,6 +252,17 @@ class MetricsRegistry:
         except KeyError:
             counter = self._counters[name] = Counter(name)
             return counter
+
+    def gauge(self, name: str, fn=None) -> Gauge:
+        """Get or create a gauge; a non-``None`` ``fn`` rebinds it."""
+        try:
+            gauge = self._gauges[name]
+        except KeyError:
+            gauge = self._gauges[name] = Gauge(name, fn)
+            return gauge
+        if fn is not None:
+            gauge.set_function(fn)
+        return gauge
 
     def histogram(
         self, name: str, buckets: tuple[float, ...] = DEFAULT_ACCESS_BUCKETS
@@ -205,12 +284,29 @@ class MetricsRegistry:
         """A snapshot of all registered timers by name."""
         return dict(self._timers)
 
+    def counters(self) -> dict[str, Counter]:
+        """A snapshot of all registered counters by name."""
+        return dict(self._counters)
+
+    def gauges(self) -> dict[str, Gauge]:
+        """A snapshot of all registered gauges by name."""
+        return dict(self._gauges)
+
+    def histograms(self) -> dict[str, Histogram]:
+        """A snapshot of all registered histograms by name."""
+        return dict(self._histograms)
+
     def as_dict(self) -> dict:
-        return {
+        out = {
             "counters": {n: c.as_dict() for n, c in sorted(self._counters.items())},
             "histograms": {n: h.as_dict() for n, h in sorted(self._histograms.items())},
             "timers": {n: t.as_dict() for n, t in sorted(self._timers.items())},
         }
+        if self._gauges:
+            out["gauges"] = {
+                n: g.as_dict() for n, g in sorted(self._gauges.items())
+            }
+        return out
 
     def render(self) -> str:
         """A human-readable dump of every registered metric."""
@@ -219,6 +315,10 @@ class MetricsRegistry:
             lines.append(f"{'counter':40s}{'value':>12s}")
             for name, counter in sorted(self._counters.items()):
                 lines.append(f"{name:40s}{counter.value:>12d}")
+        if self._gauges:
+            lines.append(f"{'gauge':40s}{'value':>12s}")
+            for name, gauge in sorted(self._gauges.items()):
+                lines.append(f"{name:40s}{gauge.value:>12.4g}")
         if self._histograms:
             header = (
                 f"{'histogram':40s}{'count':>8s}{'mean':>10s}"

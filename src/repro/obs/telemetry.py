@@ -1,0 +1,1059 @@
+"""Live storage telemetry: IO latency histograms, a flight recorder,
+a slow-operation log, and Prometheus exporters.
+
+Everything before this module measured *logical* cost — charged page
+accesses, deterministic under a fixed seed.  The durable backend
+(:mod:`repro.storage.disk`) added *physical* cost: preads, pwrites and
+above all fsyncs, whose latency distribution (not its sum) decides
+whether a build takes 1.4 s or 42 s.  This module is the physical-cost
+observatory:
+
+* :class:`Telemetry` — a process-wide sink of latency
+  :class:`~repro.obs.metrics.Histogram`\\ s (buckets tuned for
+  microsecond-to-second timings), monotone counters and *callback
+  gauges* (pool residency, dirty/pinned counts, WAL bytes) that cost
+  nothing until read.  Enabled by ``REPRO_TELEMETRY=1``; when disabled,
+  no instrumentation is installed anywhere and the hot paths are
+  untouched.  Telemetry is strictly additive: charged
+  :class:`~repro.core.stats.AccessStats`, query results, explain traces
+  and structure snapshots are bit-identical with it on or off.
+* :class:`FlightRecorder` — a daemon thread sampling every registered
+  metric at a fixed interval into a schema-versioned JSONL time series
+  (:data:`TIMELINE_SCHEMA`), so a long build or a serving process can
+  be watched while it runs and post-mortemed after.  Per-worker
+  timelines merge deterministically (:func:`merge_timelines`).
+* **Slow-operation log** — any commit / checkpoint / query whose wall
+  clock crosses ``REPRO_SLOW_OP_MS`` is recorded with its operation
+  span, the page ids it touched and the physical-IO breakdown that
+  explains the time (:data:`SLOW_OP_SCHEMA`).
+* **Exporters** — Prometheus text format (:func:`to_prometheus`), both
+  as a one-shot file export and as a live stdlib ``/metrics`` endpoint
+  (:class:`MetricsServer`), plus the ``python -m repro.obs.telemetry``
+  CLI (``render`` a timeline as per-metric sparklines, ``validate``
+  against the schemas, ``diff`` two timelines).
+"""
+
+from __future__ import annotations
+
+import argparse
+import fnmatch
+import json
+import math
+import os
+import sys
+import threading
+import time
+import weakref
+from pathlib import Path
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.obs.metrics import (
+    LATENCY_BUCKETS_SECONDS,
+    Histogram,
+    MetricsRegistry,
+)
+
+__all__ = [
+    "SLOW_OP_SCHEMA",
+    "TIMELINE_SCHEMA",
+    "FlightRecorder",
+    "MetricsServer",
+    "Telemetry",
+    "active_telemetry",
+    "merge_timelines",
+    "prometheus_name",
+    "read_timeline",
+    "set_telemetry",
+    "summarise_histogram",
+    "telemetry_enabled",
+    "to_prometheus",
+    "validate_io_stats",
+    "validate_timeline",
+    "write_prometheus",
+    "main",
+]
+
+#: Schema of one flight-recorder timeline (JSONL: header, then samples).
+TIMELINE_SCHEMA = "repro.obs/telemetry/v1"
+
+#: Schema of a slow-operation log (JSONL: header, then one line per op).
+SLOW_OP_SCHEMA = "repro.obs/slow-op/v1"
+
+TELEMETRY_ENV = "REPRO_TELEMETRY"
+SLOW_OP_ENV = "REPRO_SLOW_OP_MS"
+TIMELINE_DIR_ENV = "REPRO_TELEMETRY_DIR"
+
+_ON_VALUES = {"1", "true", "on", "yes"}
+
+
+def telemetry_enabled() -> bool:
+    """Whether ``REPRO_TELEMETRY`` turns the telemetry layer on."""
+    return os.environ.get(TELEMETRY_ENV, "").strip().lower() in _ON_VALUES
+
+
+def slow_op_threshold_seconds() -> float | None:
+    """The ``REPRO_SLOW_OP_MS`` threshold in seconds (``None`` = off)."""
+    raw = os.environ.get(SLOW_OP_ENV, "").strip()
+    if not raw:
+        return None
+    try:
+        value = float(raw)
+    except ValueError:
+        return None
+    return value / 1000.0 if value >= 0 else None
+
+
+def summarise_histogram(hist: Histogram) -> dict:
+    """An exact summary computed on a *copy* of the samples.
+
+    The flight recorder samples from its own thread while the workload
+    thread keeps observing; :meth:`Histogram.percentile` sorts the
+    shared sample list in place, which must never race with an append.
+    Copying first (``list`` of a list is safe under the GIL) makes the
+    summary a consistent point-in-time snapshot and leaves the
+    histogram's lazy-sort state alone.
+    """
+    samples = sorted(list(hist._samples))
+    n = len(samples)
+    if not n:
+        return {
+            "count": 0, "sum": 0.0, "min": 0.0, "max": 0.0,
+            "mean": 0.0, "p50": 0.0, "p90": 0.0, "p99": 0.0,
+        }
+    total = sum(samples)
+
+    def rank(q: float) -> float:
+        return samples[max(1, math.ceil(q / 100.0 * n)) - 1]
+
+    return {
+        "count": n,
+        "sum": total,
+        "min": samples[0],
+        "max": samples[-1],
+        "mean": total / n,
+        "p50": rank(50),
+        "p90": rank(90),
+        "p99": rank(99),
+    }
+
+
+class Telemetry:
+    """The live metrics substrate: histograms, counters, gauges, slow ops.
+
+    One instance is typically process-wide (:func:`active_telemetry`);
+    every durable store registers itself so the pool/WAL gauges
+    aggregate across all live stores, and every instrumented IO call
+    lands in the shared latency histograms.  All observation methods
+    are cheap enough for hot paths *when reached*, but the design rule
+    is stronger: callers hold ``telemetry is None`` guards, so a
+    disabled run never even branches into this module.
+    """
+
+    def __init__(
+        self,
+        *,
+        registry: MetricsRegistry | None = None,
+        slow_op_ms: float | None = None,
+        label: str = "",
+    ):
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.label = label
+        if slow_op_ms is not None:
+            self.slow_op_seconds: float | None = slow_op_ms / 1000.0
+        else:
+            self.slow_op_seconds = slow_op_threshold_seconds()
+        self.slow_ops: list[dict] = []
+        self.started = time.perf_counter()
+        self._stores: "weakref.WeakSet" = weakref.WeakSet()
+        self._store_gauges_registered = False
+        self._lock = threading.Lock()
+
+    # -- observation --------------------------------------------------------
+
+    def histogram(
+        self, name: str, buckets: tuple[float, ...] = LATENCY_BUCKETS_SECONDS
+    ) -> Histogram:
+        return self.registry.histogram(name, buckets)
+
+    def counter(self, name: str):
+        return self.registry.counter(name)
+
+    def gauge(self, name: str, fn=None):
+        return self.registry.gauge(name, fn)
+
+    def observe(self, name: str, seconds: float) -> None:
+        """Record one latency observation into ``name``'s histogram."""
+        self.registry.histogram(name, LATENCY_BUCKETS_SECONDS).observe(seconds)
+
+    def observe_io(self, op: str, seconds: float, nbytes: int) -> None:
+        """The :class:`repro.storage.io.InstrumentedIO` sink."""
+        self.registry.histogram(
+            f"storage.io.{op}_seconds", LATENCY_BUCKETS_SECONDS
+        ).observe(seconds)
+        if nbytes:
+            self.registry.counter(f"storage.io.{op}_bytes").inc(nbytes)
+
+    def io_counts(self) -> dict[str, tuple[int, float]]:
+        """Per-op ``(count, total seconds)`` of the IO-latency
+        histograms — cheap to snapshot before and after an operation,
+        so the delta is that operation's physical-IO breakdown."""
+        out: dict[str, tuple[int, float]] = {}
+        prefix, suffix = "storage.io.", "_seconds"
+        for name, hist in self.registry.histograms().items():
+            if name.startswith(prefix) and name.endswith(suffix):
+                samples = list(hist._samples)
+                out[name[len(prefix):-len(suffix)]] = (
+                    len(samples),
+                    sum(samples),
+                )
+        return out
+
+    class _Span:
+        __slots__ = ("telemetry", "name", "seconds", "_start")
+
+        def __init__(self, telemetry: "Telemetry", name: str):
+            self.telemetry = telemetry
+            self.name = name
+            self.seconds = 0.0
+
+        def __enter__(self) -> "Telemetry._Span":
+            self._start = time.perf_counter()
+            return self
+
+        def __exit__(self, *exc) -> None:
+            self.seconds = time.perf_counter() - self._start
+            self.telemetry.observe(self.name, self.seconds)
+
+    def time(self, name: str) -> "Telemetry._Span":
+        """``with telemetry.time("storage.commit_seconds") as span: ...``"""
+        return self._Span(self, name)
+
+    # -- the slow-operation log ---------------------------------------------
+
+    def maybe_slow_op(
+        self,
+        op: str,
+        seconds: float,
+        *,
+        pages: Sequence[int] | None = None,
+        io: Mapping | None = None,
+        detail: Mapping | None = None,
+    ) -> dict | None:
+        """Record ``op`` if it crossed the slow-operation threshold.
+
+        The record carries the operation span (start offset relative to
+        the telemetry epoch plus duration), the page ids the operation
+        touched, and the physical-IO breakdown handed in by the caller
+        — everything needed to answer "why was *this* commit slow"
+        without re-running anything.
+        """
+        threshold = self.slow_op_seconds
+        if threshold is None or seconds < threshold:
+            return None
+        now = time.perf_counter() - self.started
+        record: dict = {
+            "op": op,
+            "seconds": seconds,
+            "threshold_seconds": threshold,
+            "started_seconds": max(0.0, now - seconds),
+            "ended_seconds": now,
+        }
+        if pages is not None:
+            pages = sorted(pages)
+            record["page_count"] = len(pages)
+            record["pages"] = pages[:64]
+        if io:
+            record["io"] = dict(io)
+        if detail:
+            record["detail"] = dict(detail)
+        with self._lock:
+            record["seq"] = len(self.slow_ops)
+            self.slow_ops.append(record)
+        self.counter("telemetry.slow_ops").inc()
+        return record
+
+    def save_slow_ops(self, path: str | Path) -> Path:
+        """Write the slow-operation log as schema-versioned JSONL."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        lines = [
+            json.dumps(
+                {
+                    "schema": SLOW_OP_SCHEMA,
+                    "kind": "header",
+                    "label": self.label,
+                    "threshold_seconds": self.slow_op_seconds,
+                    "count": len(self.slow_ops),
+                },
+                separators=(",", ":"),
+            )
+        ]
+        for record in self.slow_ops:
+            lines.append(
+                json.dumps({"kind": "slow_op", **record}, separators=(",", ":"))
+            )
+        path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        return path
+
+    # -- store registration --------------------------------------------------
+
+    def register_store(self, store) -> None:
+        """Hook one durable store's pool/WAL state into the gauges.
+
+        Gauges are registered once and *sum across every live
+        registered store* (the multi-tenant service will run many);
+        dead stores drop out via the weak set.  Reading a gauge walks
+        the stores only at sampling/export time — zero hot-path cost.
+        """
+        self._stores.add(store)
+        if self._store_gauges_registered:
+            return
+        self._store_gauges_registered = True
+
+        def total(fn):
+            return lambda: sum(fn(s) for s in list(self._stores))
+
+        pool = lambda s: s.pool  # noqa: E731 - tiny local accessor
+        self.gauge("storage.stores", lambda: len(list(self._stores)))
+        self.gauge("storage.pool.resident", total(lambda s: len(pool(s).frames)))
+        self.gauge("storage.pool.pages", total(lambda s: len(pool(s).pages)))
+        self.gauge("storage.pool.dirty", total(lambda s: len(pool(s).dirty)))
+        self.gauge("storage.pool.pinned", total(lambda s: len(s._pinned)))
+        self.gauge(
+            "storage.pool.wal_only",
+            total(
+                lambda s: sum(
+                    1
+                    for m in list(pool(s).pages.values())
+                    if m.durable and not m.on_disk
+                )
+            ),
+        )
+        self.gauge("storage.pool.budget", total(lambda s: pool(s).budget))
+        self.gauge(
+            "storage.wal.bytes_since_checkpoint",
+            total(lambda s: s._wal.size - 8),
+        )
+
+    # -- sampling and summaries ----------------------------------------------
+
+    def sample(self) -> dict:
+        """One flight-recorder sample of every registered metric."""
+        registry = self.registry
+        return {
+            "counters": {
+                name: counter.value
+                for name, counter in sorted(registry.counters().items())
+            },
+            "gauges": {
+                name: gauge.value
+                for name, gauge in sorted(registry.gauges().items())
+            },
+            "histograms": {
+                name: summarise_histogram(hist)
+                for name, hist in sorted(registry.histograms().items())
+            },
+        }
+
+    def latency_summaries(self) -> dict[str, dict]:
+        """End-of-run summaries of every latency histogram, by name."""
+        return {
+            name: summarise_histogram(hist)
+            for name, hist in sorted(self.registry.histograms().items())
+        }
+
+
+# -- the process-wide instance ----------------------------------------------
+
+_EXPLICIT: Telemetry | None = None
+_ENV_INSTANCE: Telemetry | None = None
+
+
+def set_telemetry(telemetry: Telemetry | None) -> None:
+    """Install (or clear) the process-wide telemetry explicitly.
+
+    An explicit instance wins over the environment; ``None`` restores
+    environment resolution.  Tests use this to instrument a single run
+    without leaking state across the suite.
+    """
+    global _EXPLICIT
+    _EXPLICIT = telemetry
+
+
+def active_telemetry() -> Telemetry | None:
+    """The process-wide telemetry, or ``None`` when disabled.
+
+    Explicit (:func:`set_telemetry`) beats environment; with
+    ``REPRO_TELEMETRY=1`` a shared instance is created on first use so
+    every store, bench and query driver in the process reports into one
+    registry — which is exactly what the flight recorder samples.
+    """
+    if _EXPLICIT is not None:
+        return _EXPLICIT
+    if not telemetry_enabled():
+        return None
+    global _ENV_INSTANCE
+    if _ENV_INSTANCE is None:
+        _ENV_INSTANCE = Telemetry()
+    return _ENV_INSTANCE
+
+
+# -- the flight recorder -----------------------------------------------------
+
+
+class FlightRecorder:
+    """Samples a :class:`Telemetry` into a JSONL time series.
+
+    A daemon thread wakes every ``interval_seconds``, takes one
+    consistent sample of all counters / gauges / histogram summaries
+    and appends it as one JSON line.  :meth:`stop` writes a final
+    sample, so even a run shorter than the interval records at least
+    one data point.  The file starts with a header line carrying the
+    schema, the sampling interval and the worker label — which is what
+    makes per-worker timelines mergeable and validatable.
+    """
+
+    def __init__(
+        self,
+        telemetry: Telemetry,
+        path: str | Path,
+        *,
+        interval_seconds: float = 0.25,
+        label: str = "",
+        worker: str | None = None,
+    ):
+        if interval_seconds <= 0:
+            raise ValueError("interval_seconds must be positive")
+        self.telemetry = telemetry
+        self.path = Path(path)
+        self.interval_seconds = interval_seconds
+        self.label = label
+        self.worker = worker
+        self.samples_written = 0
+        self._fh = None
+        self._seq = 0
+        self._started = 0.0
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    def start(self) -> "FlightRecorder":
+        if self._thread is not None:
+            raise ValueError("flight recorder already started")
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh = self.path.open("w", encoding="utf-8")
+        self._started = time.perf_counter()
+        header = {
+            "schema": TIMELINE_SCHEMA,
+            "kind": "header",
+            "version": 1,
+            "interval_seconds": self.interval_seconds,
+            "label": self.label,
+        }
+        if self.worker is not None:
+            header["worker"] = self.worker
+        self._write(header)
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-flight-recorder", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def _write(self, doc: dict) -> None:
+        self._fh.write(json.dumps(doc, separators=(",", ":")) + "\n")
+        self._fh.flush()
+
+    def _write_sample(self, final: bool = False) -> None:
+        sample = {
+            "kind": "sample",
+            "seq": self._seq,
+            "elapsed_seconds": time.perf_counter() - self._started,
+            **self.telemetry.sample(),
+        }
+        if final:
+            sample["final"] = True
+        self._write(sample)
+        self._seq += 1
+        self.samples_written += 1
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval_seconds):
+            self._write_sample()
+
+    def stop(self) -> Path:
+        """Stop sampling, write the final sample, close the file."""
+        if self._thread is None:
+            return self.path
+        self._stop.set()
+        self._thread.join()
+        self._thread = None
+        self._write_sample(final=True)
+        self._fh.close()
+        self._fh = None
+        return self.path
+
+    def __enter__(self) -> "FlightRecorder":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+
+# -- timeline files ----------------------------------------------------------
+
+
+def read_timeline(path: str | Path) -> tuple[dict, list[dict]]:
+    """Parse one timeline file into ``(header, samples)``."""
+    header: dict = {}
+    samples: list[dict] = []
+    with Path(path).open(encoding="utf-8") as fh:
+        for lineno, raw in enumerate(fh, 1):
+            if not raw.strip():
+                continue
+            doc = json.loads(raw)
+            if lineno == 1:
+                header = doc
+            elif doc.get("kind") == "sample":
+                samples.append(doc)
+    return header, samples
+
+
+_SUMMARY_KEYS = ("count", "sum", "min", "max", "mean", "p50", "p90", "p99")
+
+
+def validate_timeline(path: str | Path) -> list[str]:
+    """Schema-check one timeline file; returns problems ([] when valid)."""
+    problems: list[str] = []
+    try:
+        header, samples = read_timeline(path)
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"unreadable: {exc}"]
+    if header.get("schema") != TIMELINE_SCHEMA:
+        problems.append(
+            f"header schema is {header.get('schema')!r}, "
+            f"expected {TIMELINE_SCHEMA!r}"
+        )
+        return problems
+    if header.get("kind") != "header":
+        problems.append("first line is not the header")
+    if not isinstance(header.get("interval_seconds"), (int, float)):
+        problems.append("header lacks a numeric interval_seconds")
+    if not samples:
+        problems.append("timeline has no samples")
+    last_seq = -1
+    for sample in samples:
+        where = f"sample {sample.get('seq')}"
+        seq = sample.get("seq")
+        if not isinstance(seq, int):
+            problems.append(f"{where}: non-integer seq")
+            continue
+        if "worker" not in sample and seq <= last_seq:
+            problems.append(f"{where}: seq not increasing")
+        last_seq = seq
+        if not isinstance(sample.get("elapsed_seconds"), (int, float)):
+            problems.append(f"{where}: missing elapsed_seconds")
+        for section in ("counters", "gauges", "histograms"):
+            block = sample.get(section)
+            if not isinstance(block, Mapping):
+                problems.append(f"{where}: missing {section} mapping")
+                continue
+            if section == "histograms":
+                for name, summary in block.items():
+                    if not isinstance(summary, Mapping) or any(
+                        not isinstance(summary.get(k), (int, float))
+                        for k in _SUMMARY_KEYS
+                    ):
+                        problems.append(
+                            f"{where}: histogram {name!r} lacks "
+                            f"numeric {_SUMMARY_KEYS}"
+                        )
+            else:
+                for name, value in block.items():
+                    if not isinstance(value, (int, float)):
+                        problems.append(
+                            f"{where}: {section[:-1]} {name!r} is not numeric"
+                        )
+    return problems
+
+
+def validate_slow_op_log(path: str | Path) -> list[str]:
+    """Schema-check one slow-operation log file."""
+    problems: list[str] = []
+    try:
+        lines = [
+            json.loads(raw)
+            for raw in Path(path).read_text(encoding="utf-8").splitlines()
+            if raw.strip()
+        ]
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"unreadable: {exc}"]
+    if not lines or lines[0].get("schema") != SLOW_OP_SCHEMA:
+        return [f"first line is not a {SLOW_OP_SCHEMA} header"]
+    header, records = lines[0], lines[1:]
+    if header.get("count") != len(records):
+        problems.append(
+            f"header count {header.get('count')} != {len(records)} records"
+        )
+    for record in records:
+        where = f"slow op {record.get('seq')}"
+        if record.get("kind") != "slow_op":
+            problems.append(f"{where}: kind is not 'slow_op'")
+        for key in ("op", "seconds", "threshold_seconds", "started_seconds",
+                    "ended_seconds", "seq"):
+            if key not in record:
+                problems.append(f"{where}: missing {key!r}")
+        if isinstance(record.get("seconds"), (int, float)) and isinstance(
+            record.get("threshold_seconds"), (int, float)
+        ):
+            if record["seconds"] < record["threshold_seconds"]:
+                problems.append(f"{where}: below its own threshold")
+    return problems
+
+
+def merge_timelines(
+    paths: Sequence[str | Path], out: str | Path | None = None
+) -> tuple[dict, list[dict]]:
+    """Merge per-worker timelines into one, deterministically.
+
+    Sources are consumed in the order given (callers sort by filename),
+    every sample is tagged with its source's worker label (falling back
+    to the file stem) and re-numbered with a global ``seq`` while its
+    original position is kept as ``worker_seq``.  The merge is a pure
+    function of the input files and their order — two merges of the
+    same recorded set are byte-identical, which is what lets CI diff a
+    parallel run's merged timeline against a reference.
+    """
+    sources: list[str] = []
+    merged: list[dict] = []
+    interval = None
+    for path in paths:
+        header, samples = read_timeline(path)
+        if header.get("schema") != TIMELINE_SCHEMA:
+            raise ValueError(f"{path}: not a {TIMELINE_SCHEMA} timeline")
+        worker = str(header.get("worker") or header.get("label") or Path(path).stem)
+        sources.append(worker)
+        if interval is None:
+            interval = header.get("interval_seconds")
+        for sample in samples:
+            entry = dict(sample)
+            entry["worker"] = worker
+            entry["worker_seq"] = entry.pop("seq")
+            merged.append(entry)
+    for seq, entry in enumerate(merged):
+        entry["seq"] = seq
+    header = {
+        "schema": TIMELINE_SCHEMA,
+        "kind": "header",
+        "version": 1,
+        "interval_seconds": interval if interval is not None else 0.0,
+        "label": "merged",
+        "merged": True,
+        "sources": sources,
+    }
+    if out is not None:
+        out = Path(out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        lines = [json.dumps(header, separators=(",", ":"))]
+        lines += [json.dumps(e, separators=(",", ":")) for e in merged]
+        out.write_text("\n".join(lines) + "\n", encoding="utf-8")
+    return header, merged
+
+
+# -- io_stats schema ---------------------------------------------------------
+
+IO_STATS_KEYS = ("backend", "pool", "wal", "pagefile", "commits", "checkpoints")
+IO_STATS_POOL_KEYS = (
+    "budget", "resident", "pages", "hits", "misses",
+    "evictions", "peek_loads", "overflows", "silent_dirty", "hit_rate",
+)
+IO_STATS_WAL_KEYS = ("records", "commits", "bytes", "size")
+IO_STATS_PAGEFILE_KEYS = ("reads", "writes", "bytes_read", "bytes_written")
+
+
+def validate_io_stats(stats: Mapping) -> list[str]:
+    """Shape-check a ``DiskPageStore.io_stats()`` document.
+
+    Pins the keys the run-report ``storage`` block and the ledger
+    folding rely on; the ``latency`` / ``write_amplification`` /
+    ``slow_ops`` fields are additive (present only under telemetry) and
+    validated when present.
+    """
+    problems: list[str] = []
+    if not isinstance(stats, Mapping):
+        return ["io_stats is not a mapping"]
+    for key in IO_STATS_KEYS:
+        if key not in stats:
+            problems.append(f"missing key {key!r}")
+    if problems:
+        return problems
+    if stats["backend"] != "disk":
+        problems.append(f"backend is {stats['backend']!r}, expected 'disk'")
+    for block, keys in (
+        ("pool", IO_STATS_POOL_KEYS),
+        ("wal", IO_STATS_WAL_KEYS),
+        ("pagefile", IO_STATS_PAGEFILE_KEYS),
+    ):
+        value = stats.get(block)
+        if not isinstance(value, Mapping):
+            problems.append(f"{block} is not a mapping")
+            continue
+        for key in keys:
+            if not isinstance(value.get(key), (int, float)):
+                problems.append(f"{block}.{key} missing or non-numeric")
+    for key in ("commits", "checkpoints"):
+        if not isinstance(stats.get(key), int):
+            problems.append(f"{key} is not an integer")
+    latency = stats.get("latency")
+    if latency is not None:
+        if not isinstance(latency, Mapping):
+            problems.append("latency is not a mapping")
+        else:
+            for name, summary in latency.items():
+                if not isinstance(summary, Mapping) or any(
+                    not isinstance(summary.get(k), (int, float))
+                    for k in _SUMMARY_KEYS
+                ):
+                    problems.append(f"latency[{name!r}] is not a summary")
+    if "write_amplification" in stats and not isinstance(
+        stats["write_amplification"], (int, float)
+    ):
+        problems.append("write_amplification is not numeric")
+    if "slow_ops" in stats and not isinstance(stats["slow_ops"], int):
+        problems.append("slow_ops is not an integer")
+    return problems
+
+
+# -- Prometheus export -------------------------------------------------------
+
+
+def prometheus_name(name: str, prefix: str = "repro") -> str:
+    """A metric name in Prometheus form: ``storage.io.fsync_seconds``
+    becomes ``repro_storage_io_fsync_seconds``."""
+    cleaned = "".join(
+        ch if ch.isalnum() or ch == "_" else "_" for ch in name.lower()
+    )
+    while "__" in cleaned:
+        cleaned = cleaned.replace("__", "_")
+    return f"{prefix}_{cleaned.strip('_')}"
+
+
+def _fmt(value: float) -> str:
+    if value != value or value in (math.inf, -math.inf):  # NaN / Inf guards
+        return "0"
+    return f"{value:.10g}"
+
+
+def to_prometheus(source: Telemetry | MetricsRegistry) -> str:
+    """Render every registered metric in Prometheus text format (0.0.4).
+
+    Counters become ``<name>_total``; histograms emit the standard
+    cumulative ``_bucket{le=...}`` series plus ``_sum``/``_count``;
+    gauges are read through their callbacks at export time; timers
+    export their accumulated seconds as a counter.  Names follow the
+    Prometheus conventions: ``repro_`` namespace, base units (seconds,
+    bytes), ``_total`` on monotone series.
+    """
+    registry = source.registry if isinstance(source, Telemetry) else source
+    lines: list[str] = []
+
+    for name, counter in sorted(registry.counters().items()):
+        metric = prometheus_name(name)
+        if not metric.endswith("_total"):
+            metric += "_total"
+        lines.append(f"# HELP {metric} Monotone counter {name}.")
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {counter.value}")
+
+    for name, gauge in sorted(registry.gauges().items()):
+        metric = prometheus_name(name)
+        lines.append(f"# HELP {metric} Gauge {name}.")
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_fmt(gauge.value)}")
+
+    for name, hist in sorted(registry.histograms().items()):
+        metric = prometheus_name(name)
+        summary = summarise_histogram(hist)
+        lines.append(f"# HELP {metric} Histogram {name}.")
+        lines.append(f"# TYPE {metric} histogram")
+        cumulative = 0
+        bucket_counts = list(hist.bucket_counts)
+        for bound, count in zip(hist.buckets, bucket_counts):
+            cumulative += count
+            lines.append(
+                f'{metric}_bucket{{le="{_fmt(float(bound))}"}} {cumulative}'
+            )
+        cumulative += bucket_counts[-1]
+        lines.append(f'{metric}_bucket{{le="+Inf"}} {cumulative}')
+        lines.append(f"{metric}_sum {_fmt(summary['sum'])}")
+        lines.append(f"{metric}_count {summary['count']}")
+
+    for name, timer in sorted(registry.timers().items()):
+        metric = prometheus_name(name)
+        if not metric.endswith("_seconds"):
+            metric += "_seconds"
+        metric += "_total"
+        lines.append(f"# HELP {metric} Accumulated wall clock of {name}.")
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {_fmt(timer.seconds)}")
+
+    return "\n".join(lines) + "\n"
+
+
+def write_prometheus(source: Telemetry | MetricsRegistry, path: str | Path) -> Path:
+    """One-shot Prometheus text export to a file."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(to_prometheus(source), encoding="utf-8")
+    return path
+
+
+class MetricsServer:
+    """A live ``/metrics`` endpoint over the stdlib ``http.server``.
+
+    ``port=0`` binds an ephemeral port (read it back from
+    :attr:`port` / :attr:`url`).  The handler renders
+    :func:`to_prometheus` per scrape, so gauges and histograms are
+    always current; anything but ``GET /metrics`` is a 404.  The server
+    runs on a daemon thread — :meth:`stop` (or the context manager)
+    shuts it down cleanly.
+    """
+
+    def __init__(
+        self,
+        telemetry: Telemetry,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ):
+        self.telemetry = telemetry
+        self.host = host
+        self._requested_port = port
+        self._server = None
+        self._thread: threading.Thread | None = None
+
+    @property
+    def port(self) -> int:
+        if self._server is None:
+            raise ValueError("server is not running")
+        return self._server.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}/metrics"
+
+    def start(self) -> "MetricsServer":
+        from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+        telemetry = self.telemetry
+
+        class Handler(BaseHTTPRequestHandler):
+            def do_GET(self):  # noqa: N802 - http.server API
+                if self.path.rstrip("/") not in ("", "/metrics".rstrip("/")):
+                    self.send_error(404, "only /metrics is served")
+                    return
+                body = to_prometheus(telemetry).encode("utf-8")
+                self.send_response(200)
+                self.send_header(
+                    "Content-Type", "text/plain; version=0.0.4; charset=utf-8"
+                )
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def log_message(self, *args):  # silence per-request stderr spam
+                pass
+
+        self._server = ThreadingHTTPServer(
+            (self.host, self._requested_port), Handler
+        )
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            name="repro-metrics-server",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        if self._server is not None:
+            self._server.shutdown()
+            self._server.server_close()
+            self._server = None
+        if self._thread is not None:
+            self._thread.join()
+            self._thread = None
+
+    def __enter__(self) -> "MetricsServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+
+# -- CLI ---------------------------------------------------------------------
+
+_SPARK_CHARS = "▁▂▃▄▅▆▇█"
+
+
+def _sparkline(values: Sequence[float], width: int = 48) -> str:
+    if not values:
+        return ""
+    if len(values) > width:  # downsample by striding, keeping the last point
+        step = len(values) / width
+        values = [values[min(len(values) - 1, int(i * step))] for i in range(width)]
+    lo, hi = min(values), max(values)
+    if hi <= lo:
+        return _SPARK_CHARS[0] * len(values)
+    span = hi - lo
+    return "".join(
+        _SPARK_CHARS[min(7, int((v - lo) / span * 8))] for v in values
+    )
+
+
+def _metric_series(samples: Sequence[Mapping]) -> dict[str, list[float]]:
+    """Flatten samples to per-metric value series, in first-seen order.
+
+    Counters and gauges contribute their value; histograms contribute
+    ``<name>.count``, ``<name>.p50`` and ``<name>.p99`` series, which is
+    what a latency investigation actually plots.
+    """
+    series: dict[str, list[float]] = {}
+
+    def push(name: str, value: float, index: int) -> None:
+        values = series.setdefault(name, [])
+        while len(values) < index:  # metric appeared mid-flight: pad
+            values.append(0.0)
+        values.append(float(value))
+
+    for index, sample in enumerate(samples):
+        for name, value in sample.get("counters", {}).items():
+            push(name, value, index)
+        for name, value in sample.get("gauges", {}).items():
+            push(name, value, index)
+        for name, summary in sample.get("histograms", {}).items():
+            push(f"{name}.count", summary.get("count", 0), index)
+            push(f"{name}.p50", summary.get("p50", 0.0), index)
+            push(f"{name}.p99", summary.get("p99", 0.0), index)
+    n = len(samples)
+    for values in series.values():
+        while len(values) < n:
+            values.append(values[-1] if values else 0.0)
+    return series
+
+
+def render_timeline(
+    path: str | Path, *, metric_glob: str = "*", width: int = 48
+) -> str:
+    """Per-metric sparkline + summary table of one timeline file."""
+    header, samples = read_timeline(path)
+    duration = samples[-1].get("elapsed_seconds", 0.0) if samples else 0.0
+    lines = [
+        f"timeline: {header.get('label') or Path(path).name} "
+        f"({len(samples)} samples, {duration:.2f}s, "
+        f"interval {header.get('interval_seconds', 0)}s"
+        + (f", merged from {len(header.get('sources', []))} workers" if header.get("merged") else "")
+        + ")"
+    ]
+    series = _metric_series(samples)
+    names = [n for n in series if fnmatch.fnmatch(n, metric_glob)]
+    if not names:
+        lines.append(f"no metrics match {metric_glob!r}")
+        return "\n".join(lines)
+    name_width = max(len(n) for n in names)
+    lines.append(
+        f"{'metric':{name_width}s}  {'first':>12s}{'last':>12s}{'max':>12s}  trend"
+    )
+    for name in names:
+        values = series[name]
+        lines.append(
+            f"{name:{name_width}s}  {values[0]:>12.6g}{values[-1]:>12.6g}"
+            f"{max(values):>12.6g}  {_sparkline(values, width)}"
+        )
+    return "\n".join(lines)
+
+
+def diff_timelines(old: str | Path, new: str | Path) -> list[dict]:
+    """Final-sample metric deltas between two timelines."""
+    rows: list[dict] = []
+    old_series = _metric_series(read_timeline(old)[1])
+    new_series = _metric_series(read_timeline(new)[1])
+    for name in sorted(set(old_series) & set(new_series)):
+        a = old_series[name][-1] if old_series[name] else 0.0
+        b = new_series[name][-1] if new_series[name] else 0.0
+        delta = 100.0 * (b - a) / a if a else 0.0
+        rows.append({"metric": name, "old": a, "new": b, "delta_pct": delta})
+    return rows
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.telemetry",
+        description="Render, validate or diff telemetry timelines.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("render", help="sparkline/summary table of a timeline")
+    p.add_argument("timeline", metavar="TIMELINE.jsonl")
+    p.add_argument("--metric", default="*", help="glob over metric names")
+    p.add_argument("--width", type=int, default=48, help="sparkline width")
+
+    p = sub.add_parser(
+        "validate", help="schema-check timelines and slow-op logs"
+    )
+    p.add_argument("files", nargs="+", metavar="FILE.jsonl")
+
+    p = sub.add_parser("diff", help="final-sample metric deltas, new vs old")
+    p.add_argument("old")
+    p.add_argument("new")
+
+    args = parser.parse_args(argv)
+
+    if args.command == "render":
+        try:
+            print(render_timeline(args.timeline, metric_glob=args.metric,
+                                  width=args.width))
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        return 0
+
+    if args.command == "validate":
+        status = 0
+        for path in args.files:
+            try:
+                first = Path(path).read_text(encoding="utf-8").split("\n", 1)[0]
+                schema = json.loads(first).get("schema") if first.strip() else None
+            except (OSError, json.JSONDecodeError) as exc:
+                print(f"{path}: UNREADABLE ({exc})")
+                status = 1
+                continue
+            if schema == SLOW_OP_SCHEMA:
+                problems = validate_slow_op_log(path)
+            else:
+                problems = validate_timeline(path)
+            if problems:
+                status = 1
+                print(f"{path}: INVALID")
+                for problem in problems:
+                    print(f"  - {problem}")
+            else:
+                print(f"{path}: OK")
+        return status
+
+    # diff
+    try:
+        rows = diff_timelines(args.old, args.new)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(f"{'metric':44s}{'old':>12s}{'new':>12s}{'delta':>9s}")
+    for row in rows:
+        print(
+            f"{row['metric']:44s}{row['old']:>12.6g}{row['new']:>12.6g}"
+            f"{row['delta_pct']:>+8.1f}%"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

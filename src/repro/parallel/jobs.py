@@ -17,9 +17,11 @@ single-process run.
 from __future__ import annotations
 
 import hashlib
+import os
 import pickle
 import time
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Sequence
 
 from repro.core.comparison import (
@@ -160,6 +162,41 @@ def load_job_data(spec: JobSpec):
     return generate_rect_file(spec.file, spec.scale)
 
 
+def _job_telemetry(spec: JobSpec):
+    """The process-wide telemetry plus (optionally) a per-job recorder.
+
+    Workers inherit ``REPRO_TELEMETRY`` through the environment, so a
+    parallel run instruments exactly like a serial one.  When
+    ``REPRO_TELEMETRY_DIR`` also names a directory, each job records
+    its own ``timeline-<label>.jsonl`` flight-recorder file there —
+    label-derived names are deterministic, so the runner can merge the
+    per-worker timelines into one reproducible document afterwards.
+    """
+    from repro.obs.telemetry import (
+        TIMELINE_DIR_ENV,
+        FlightRecorder,
+        active_telemetry,
+    )
+
+    telem = active_telemetry()
+    if telem is None:
+        return None, None
+    raw = os.environ.get(TIMELINE_DIR_ENV, "").strip()
+    if not raw:
+        return telem, None
+    safe = "".join(
+        ch if ch.isalnum() or ch in "+-." else "_" for ch in spec.label()
+    )
+    recorder = FlightRecorder(
+        telem,
+        Path(raw) / f"timeline-{safe}.jsonl",
+        interval_seconds=0.1,
+        label=spec.label(),
+        worker=safe,
+    )
+    return telem, recorder.start()
+
+
 def execute_job(spec: JobSpec, data: Sequence | None = None) -> JobResult:
     """Run one build+query cell and return its complete outcome.
 
@@ -198,61 +235,75 @@ def execute_job(spec: JobSpec, data: Sequence | None = None) -> JobResult:
 
         return ExplainRecorder(name)
 
-    tracer = Tracer()
-    tracer.set_context(structure=spec.structure)
-    started = time.perf_counter()
-    method = build(factory, data, page_size=spec.page_size, tracer=tracer)
-    build_seconds = time.perf_counter() - started
-    explain = recorder(spec.structure)
-    started = time.perf_counter()
-    result = run_queries(
-        method, seed=spec.query_seed, tracer=tracer, explain=explain
-    )
-    query_seconds = time.perf_counter() - started
-    result.name = spec.structure
-    result.snapshot = method.snapshot()
-    if explain is not None:
-        explain.save(_trace_path(explain_to, spec.kind, spec.structure))
-    structures = [
-        StructureOutcome(
-            spec.structure,
-            result,
-            method.store.stats.snapshot(),
-            build_seconds,
-            query_seconds,
-        )
-    ]
-
-    if spec.derive_packed:
-        # BUDDY+ is not a separate build: pack the just-built BUDDY file
-        # and re-run the query files on the same store, charging only the
-        # delta — exactly how the serial bench derives the row.
-        before = method.store.stats.snapshot()
-        tracer.set_context(structure=f"{spec.structure}+", op="pack")
+    telem, flight = _job_telemetry(spec)
+    try:
+        tracer = Tracer()
+        tracer.set_context(structure=spec.structure)
         started = time.perf_counter()
-        method.pack()
-        pack_seconds = time.perf_counter() - started
-        explain = recorder(f"{spec.structure}+")
+        method = build(factory, data, page_size=spec.page_size, tracer=tracer)
+        build_seconds = time.perf_counter() - started
+        explain = recorder(spec.structure)
         started = time.perf_counter()
-        packed = run_queries(
+        result = run_queries(
             method, seed=spec.query_seed, tracer=tracer, explain=explain
         )
-        packed_seconds = time.perf_counter() - started
-        packed.name = f"{spec.structure}+"
-        packed.snapshot = method.snapshot()
+        query_seconds = time.perf_counter() - started
+        if telem is not None:
+            telem.observe("bench.build_seconds", build_seconds)
+            telem.observe("bench.query_seconds", query_seconds)
+        result.name = spec.structure
+        result.snapshot = method.snapshot()
         if explain is not None:
-            explain.save(_trace_path(explain_to, spec.kind, packed.name))
-        structures.append(
+            explain.save(_trace_path(explain_to, spec.kind, spec.structure))
+        structures = [
             StructureOutcome(
-                packed.name,
-                packed,
-                method.store.stats - before,
-                pack_seconds,
-                packed_seconds,
+                spec.structure,
+                result,
+                method.store.stats.snapshot(),
+                build_seconds,
+                query_seconds,
             )
-        )
+        ]
 
-    return JobResult(spec=spec, structures=structures, spans=tracer.finish())
+        if spec.derive_packed:
+            # BUDDY+ is not a separate build: pack the just-built BUDDY
+            # file and re-run the query files on the same store, charging
+            # only the delta — exactly how the serial bench derives the
+            # row.
+            before = method.store.stats.snapshot()
+            tracer.set_context(structure=f"{spec.structure}+", op="pack")
+            started = time.perf_counter()
+            method.pack()
+            pack_seconds = time.perf_counter() - started
+            explain = recorder(f"{spec.structure}+")
+            started = time.perf_counter()
+            packed = run_queries(
+                method, seed=spec.query_seed, tracer=tracer, explain=explain
+            )
+            packed_seconds = time.perf_counter() - started
+            if telem is not None:
+                telem.observe("bench.build_seconds", pack_seconds)
+                telem.observe("bench.query_seconds", packed_seconds)
+            packed.name = f"{spec.structure}+"
+            packed.snapshot = method.snapshot()
+            if explain is not None:
+                explain.save(_trace_path(explain_to, spec.kind, packed.name))
+            structures.append(
+                StructureOutcome(
+                    packed.name,
+                    packed,
+                    method.store.stats - before,
+                    pack_seconds,
+                    packed_seconds,
+                )
+            )
+
+        return JobResult(
+            spec=spec, structures=structures, spans=tracer.finish()
+        )
+    finally:
+        if flight is not None:
+            flight.stop()
 
 
 def pam_file_specs(

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import os
 from concurrent.futures import ProcessPoolExecutor
+from pathlib import Path
 from dataclasses import dataclass, field
 from typing import Sequence
 
@@ -171,8 +172,38 @@ def run_specs(
             outcomes[i] = result
             if cache is not None:
                 cache.store(spec, result)
+        _merge_job_timelines()
 
     return [outcomes[i] for i in range(len(specs))]
+
+
+def _merge_job_timelines() -> None:
+    """Fold per-job flight-recorder files into one merged timeline.
+
+    Runs only when ``REPRO_TELEMETRY`` + ``REPRO_TELEMETRY_DIR`` are
+    both set (each executed job then recorded a
+    ``timeline-<label>.jsonl``).  Sources are taken in sorted filename
+    order — a pure function of the job labels — so the merged document
+    is deterministic no matter how the pool interleaved the workers.
+    """
+    from repro.obs.telemetry import (
+        TIMELINE_DIR_ENV,
+        merge_timelines,
+        telemetry_enabled,
+    )
+
+    raw = os.environ.get(TIMELINE_DIR_ENV, "").strip()
+    if not raw or not telemetry_enabled():
+        return
+    directory = Path(raw)
+    merged = directory / "timeline-merged.jsonl"
+    parts = sorted(
+        path
+        for path in directory.glob("timeline-*.jsonl")
+        if path != merged
+    )
+    if parts:
+        merge_timelines(parts, merged)
 
 
 def merge_outcomes(job_results: Sequence[JobResult]) -> ExperimentOutcome:

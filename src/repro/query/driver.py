@@ -18,6 +18,7 @@ be used without importing the core experiment machinery.
 
 from __future__ import annotations
 
+import time
 from typing import Any, Callable, Sequence
 
 __all__ = ["run_query_file"]
@@ -56,6 +57,12 @@ def run_query_file(
     workload = cache.workload if cache is not None else None
     if explain is not None:
         explain.start_file(method, kind)
+    # The per-query timing below exists only when telemetry is active:
+    # the disabled path keeps the loop free of perf_counter calls, and
+    # the timing never feeds back into the charged cost accounting.
+    from repro.obs.telemetry import active_telemetry
+
+    telem = active_telemetry()
     out: list[tuple[int, Any]] = []
     stats = method.store.stats
     try:
@@ -70,6 +77,8 @@ def run_query_file(
                 + stats.dir_reads
                 + stats.dir_writes
             )
+            if telem is not None:
+                started = time.perf_counter()
             result = operation(query)
             cost = (
                 stats.data_reads
@@ -78,6 +87,14 @@ def run_query_file(
                 + stats.dir_writes
                 - before
             )
+            if telem is not None:
+                seconds = time.perf_counter() - started
+                telem.observe("query.latency_seconds", seconds)
+                telem.maybe_slow_op(
+                    "query",
+                    seconds,
+                    detail={"kind": kind, "index": index, "cost": cost},
+                )
             out.append((cost, result))
             if explain is not None:
                 explain.finish_query(index, query, cost, result)

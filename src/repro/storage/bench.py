@@ -13,12 +13,22 @@ the full §3/§7 query workload on both backends, and
 * writes ``results/BENCH_STORAGE.json`` and, when a ledger is active
   (``--ledger`` / ``REPRO_LEDGER``), records the disk-backend timings
   under source ``storage-bench`` so the CI regression gate tracks the
-  out-of-core path like any other hot path.
+  out-of-core path like any other hot path;
+* with ``--telemetry`` (or ``REPRO_TELEMETRY=1``), runs the whole bench
+  under a :mod:`repro.obs.telemetry` flight recorder: the disk phase's
+  per-call IO latencies land in histograms (the ``storage`` block of
+  every record then carries fsync/pread/pwrite percentiles), a
+  validated timeline JSONL and a Prometheus text export are written
+  next to the bench JSON, and any slow operations
+  (``REPRO_SLOW_OP_MS``) are saved as their own log.  The ledger entry
+  gains the deterministic physical-IO totals and gated fsync
+  percentile leaves, fingerprinted as a disk-backend run.
 
 Usage::
 
     PYTHONPATH=src python -m repro.storage.bench --scale 20000
     PYTHONPATH=src python -m repro.storage.bench --scale 100000 --pool-frac 0.1
+    PYTHONPATH=src python -m repro.storage.bench --scale 20000 --telemetry
 """
 
 from __future__ import annotations
@@ -149,12 +159,65 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="ledger destination (1/0/path; default: REPRO_LEDGER)",
     )
+    parser.add_argument(
+        "--telemetry",
+        action=argparse.BooleanOptionalAction,
+        default=None,
+        help="record IO latency histograms + a flight-recorder timeline "
+        "(default: REPRO_TELEMETRY)",
+    )
+    parser.add_argument(
+        "--timeline",
+        default=None,
+        help="timeline JSONL path (default: results/TELEMETRY_STORAGE.jsonl)",
+    )
+    parser.add_argument(
+        "--prometheus",
+        default=None,
+        help="Prometheus text export path "
+        "(default: results/METRICS_STORAGE.prom)",
+    )
+    parser.add_argument(
+        "--slow-ops",
+        default=None,
+        help="slow-operation log path "
+        "(default: results/SLOW_OPS_STORAGE.jsonl, written when non-empty)",
+    )
+    parser.add_argument(
+        "--sample-interval",
+        type=float,
+        default=0.25,
+        help="flight-recorder sampling interval in seconds",
+    )
     args = parser.parse_args(argv)
 
     names = [n.strip() for n in args.structures.split(",") if n.strip()]
     unknown = [n for n in names if n not in STRUCTURES]
     if unknown:
         parser.error(f"unknown structures {unknown}; choose from {sorted(STRUCTURES)}")
+
+    from repro.obs.telemetry import telemetry_enabled
+
+    telemetry_on = (
+        args.telemetry if args.telemetry is not None else telemetry_enabled()
+    )
+    telem = flight = None
+    if telemetry_on:
+        from repro.obs.telemetry import FlightRecorder, Telemetry, set_telemetry
+
+        telem = Telemetry(label="storage-bench")
+        set_telemetry(telem)  # make_store attaches it to every disk store
+        timeline_path = (
+            Path(args.timeline)
+            if args.timeline
+            else results_dir() / "TELEMETRY_STORAGE.jsonl"
+        )
+        flight = FlightRecorder(
+            telem,
+            timeline_path,
+            interval_seconds=args.sample_interval,
+            label="storage-bench",
+        ).start()
 
     records = []
     failures = 0
@@ -195,7 +258,53 @@ def main(argv: list[str] | None = None) -> int:
     out.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {out}")
 
-    from repro.obs.ledger import entry_from_timers, resolve_ledger
+    fsync_summary = None
+    if flight is not None:
+        from repro.obs.telemetry import (
+            set_telemetry,
+            validate_timeline,
+            write_prometheus,
+        )
+
+        flight.stop()
+        problems = validate_timeline(flight.path)
+        if problems:
+            failures += 1
+            print(f"timeline {flight.path} INVALID: {'; '.join(problems)}")
+        else:
+            print(
+                f"wrote {flight.path} ({flight.samples_written} samples, OK)"
+            )
+        prom = write_prometheus(
+            telem,
+            Path(args.prometheus)
+            if args.prometheus
+            else results_dir() / "METRICS_STORAGE.prom",
+        )
+        print(f"wrote {prom}")
+        if telem.slow_ops or args.slow_ops:
+            slow = telem.save_slow_ops(
+                Path(args.slow_ops)
+                if args.slow_ops
+                else results_dir() / "SLOW_OPS_STORAGE.jsonl"
+            )
+            print(f"wrote {slow} ({len(telem.slow_ops)} slow ops)")
+        fsync_summary = telem.latency_summaries().get("storage.io.fsync_seconds")
+        if fsync_summary and fsync_summary["count"]:
+            print(
+                f"fsync    count={fsync_summary['count']} "
+                f"p50={fsync_summary['p50'] * 1e3:.3f}ms "
+                f"p99={fsync_summary['p99'] * 1e3:.3f}ms "
+                f"max={fsync_summary['max'] * 1e3:.3f}ms"
+            )
+        set_telemetry(None)
+
+    from repro.obs.ledger import (
+        collect_fingerprint,
+        entry_from_timers,
+        resolve_ledger,
+        storage_io_totals,
+    )
 
     ledger = resolve_ledger(args.ledger)
     if ledger is not None and not failures:
@@ -204,7 +313,10 @@ def main(argv: list[str] | None = None) -> int:
         for record in records:
             timers[f"{record['structure']}/build"] = record["disk"]["build_seconds"]
             timers[f"{record['structure']}/queries"] = record["disk"]["query_seconds"]
-            totals[record["structure"]] = record["totals"]
+            totals[record["structure"]] = {
+                **record["totals"],
+                "storage_io": storage_io_totals(record["storage"]),
+            }
         entry = entry_from_timers(
             label="storage-disk",
             source="storage-bench",
@@ -214,12 +326,28 @@ def main(argv: list[str] | None = None) -> int:
             page_size=args.page_size,
             scale=args.scale,
             seed=args.seed,
+            fingerprint=collect_fingerprint(
+                page_size=args.page_size,
+                scale=args.scale,
+                seed=args.seed,
+                storage={
+                    "backend": "disk",
+                    "pool_frac": args.pool_frac,
+                    "fsync": bool(args.fsync),
+                },
+            ),
             meta={
                 "pool_frac": args.pool_frac,
                 "fsync": args.fsync,
                 "storage": {r["structure"]: r["storage"] for r in records},
             },
         )
+        # The fsync distribution is process-wide (all stores share the
+        # telemetry), so it lands as top-level gated leaves rather than
+        # per-structure ones.
+        if fsync_summary and fsync_summary["count"]:
+            entry.metrics["fsync_p50_seconds"] = fsync_summary["p50"]
+            entry.metrics["fsync_p99_seconds"] = fsync_summary["p99"]
         ledger.record(entry)
         print(f"ledger: recorded {entry.run_id} to {ledger.path}")
     return 1 if failures else 0

@@ -63,11 +63,12 @@ import base64
 import json
 import pickle
 import struct
+import time
 import zlib
 from pathlib import Path
 from typing import Any, Iterator
 
-from repro.storage.io import FileHandle, IOProvider, OsFileIO
+from repro.storage.io import FileHandle, InstrumentedIO, IOProvider, OsFileIO
 from repro.storage.page import PageKind
 from repro.storage.pagestore import PageStore
 from repro.storage.wal import WAL_MAGIC, WriteAheadLog
@@ -492,6 +493,18 @@ class BufferPool:
         return False
 
     def _evict(self, pid: int, frame: _Frame) -> bool:
+        telem = self.store._telemetry
+        if telem is None:
+            return self._evict_inner(pid, frame)
+        start = time.perf_counter()
+        evicted = self._evict_inner(pid, frame)
+        if evicted:
+            telem.observe(
+                "storage.pool.eviction_seconds", time.perf_counter() - start
+            )
+        return evicted
+
+    def _evict_inner(self, pid: int, frame: _Frame) -> bool:
         """Write back (if needed) and drop one clean frame.
 
         Returns ``False`` — and re-classifies the page dirty — when the
@@ -577,6 +590,15 @@ class DiskPageStore(PageStore):
         Buffer-pool safety nets, see :class:`BufferPool`.
     wal_checkpoint_bytes:
         Auto-checkpoint once the WAL grows past this size.
+    telemetry:
+        A :class:`repro.obs.telemetry.Telemetry` (duck-typed — this
+        module never imports :mod:`repro.obs`).  When set, the IO
+        provider is wrapped in :class:`~repro.storage.io.InstrumentedIO`
+        so every pread/pwrite/fsync lands in a latency histogram,
+        commits/checkpoints/evictions are timed, the store's pool and
+        WAL state is exposed as gauges, and slow operations are logged.
+        Telemetry is strictly additive: charged access statistics and
+        query results are bit-identical with it on or off.
     """
 
     def __init__(
@@ -593,11 +615,15 @@ class DiskPageStore(PageStore):
         paranoid: bool = True,
         poison: bool = False,
         wal_checkpoint_bytes: int = 64 << 20,
+        telemetry=None,
     ):
         super().__init__(page_size, path_buffer_limit, vector)
         self.path = Path(path)
         self.path.mkdir(parents=True, exist_ok=True)
         self.io = io if io is not None else OsFileIO()
+        self._telemetry = telemetry
+        if telemetry is not None:
+            self.io = InstrumentedIO(self.io, telemetry)
         self.fsync_on_commit = fsync
         self.wal_checkpoint_bytes = wal_checkpoint_bytes
         self.commits = 0
@@ -610,6 +636,7 @@ class DiskPageStore(PageStore):
         self._pin_dirty = False
         self._closed = False
         self._in_checkpoint = False
+        self._last_commit_pages: list[int] = []
 
         # The sidecar is the store's existence ground truth: it lands
         # (atomically) only after the page file and WAL headers are
@@ -639,6 +666,8 @@ class DiskPageStore(PageStore):
             if self._wal.size > len(WAL_MAGIC) + 4:
                 self._wal.reset()  # debris from a crashed creation
             self._write_sidecar()
+        if telemetry is not None:
+            telemetry.register_store(self)
 
     # -- paths -------------------------------------------------------------
 
@@ -690,7 +719,50 @@ class DiskPageStore(PageStore):
 
     # -- durability ---------------------------------------------------------
 
+    def _wal_append(self, *args) -> None:
+        telem = self._telemetry
+        if telem is None:
+            self._wal.append(*args)
+            return
+        start = time.perf_counter()
+        self._wal.append(*args)
+        telem.observe("storage.wal.append_seconds", time.perf_counter() - start)
+
+    def _io_breakdown(self, wal_before: dict, io_before: dict) -> dict:
+        """What physically happened during an operation span: the delta
+        of the WAL counters and of every IO-latency histogram."""
+        wal_now = self._wal.stats()
+        out = {
+            "wal_records": wal_now["records"] - wal_before["records"],
+            "wal_bytes": wal_now["bytes"] - wal_before["bytes"],
+        }
+        for op, (count, seconds) in self._telemetry.io_counts().items():
+            before_count, before_seconds = io_before.get(op, (0, 0.0))
+            if count > before_count:
+                out[f"{op}s"] = count - before_count
+                out[f"{op}_seconds"] = seconds - before_seconds
+        return out
+
     def commit(self, meta: Any | None = None) -> bool:
+        telem = self._telemetry
+        if telem is None:
+            return self._commit_inner(meta)
+        wal_before = self._wal.stats()
+        io_before = telem.io_counts()
+        start = time.perf_counter()
+        committed = self._commit_inner(meta)
+        if committed:
+            seconds = time.perf_counter() - start
+            telem.observe("storage.commit_seconds", seconds)
+            telem.maybe_slow_op(
+                "commit",
+                seconds,
+                pages=self._last_commit_pages,
+                io=self._io_breakdown(wal_before, io_before),
+            )
+        return committed
+
+    def _commit_inner(self, meta: Any | None = None) -> bool:
         """Make everything since the last commit durable; returns whether
         a commit record was written (no-change commits are free).
 
@@ -720,6 +792,7 @@ class DiskPageStore(PageStore):
                 pool.silent_dirty += 1
                 pool.mark_dirty(pid)
                 payloads[pid] = payload
+        self._last_commit_pages = sorted(pool.dirty | pool.freed)
         for pid in sorted(pool.dirty):
             payload = payloads.get(pid)
             if payload is None:
@@ -732,7 +805,7 @@ class DiskPageStore(PageStore):
                     f"larger slot_size"
                 )
             kind = self._kinds[pid]
-            self._wal.append("page", pid, kind.value, payload)
+            self._wal_append("page", pid, kind.value, payload)
             entry = pool.pages[pid]
             entry.kind = kind
             entry.crc = zlib.crc32(payload)
@@ -740,9 +813,9 @@ class DiskPageStore(PageStore):
             entry.on_disk = False
             entry.durable = True
         for pid in sorted(pool.freed):
-            self._wal.append("free", pid)
+            self._wal_append("free", pid)
         if meta is not None:
-            self._wal.append("meta", _dumps(meta))
+            self._wal_append("meta", _dumps(meta))
             self.meta_blob = meta
         self._wal.commit(self._next_id, self._pinned, fsync=self.fsync_on_commit)
         for pid in pool.dirty:
@@ -763,6 +836,31 @@ class DiskPageStore(PageStore):
         """Flush everything to the page file, rewrite the sidecar, reset
         the WAL.  After a checkpoint the WAL is empty and every live
         page's slot holds its committed image."""
+        telem = self._telemetry
+        if telem is None:
+            self._checkpoint_inner()
+            return
+        wal_before = self._wal.stats()
+        io_before = telem.io_counts()
+        # Every resident page whose slot image is stale (dirty or
+        # WAL-only) is what this checkpoint will push to the page file.
+        stale = [
+            pid
+            for pid in self.pool.frames
+            if not self.pool.pages[pid].on_disk
+        ]
+        start = time.perf_counter()
+        self._checkpoint_inner()
+        seconds = time.perf_counter() - start
+        telem.observe("storage.checkpoint_seconds", seconds)
+        telem.maybe_slow_op(
+            "checkpoint",
+            seconds,
+            pages=stale,
+            io=self._io_breakdown(wal_before, io_before),
+        )
+
+    def _checkpoint_inner(self) -> None:
         self._in_checkpoint = True
         try:
             self.commit()
@@ -933,16 +1031,42 @@ class DiskPageStore(PageStore):
 
     def io_stats(self) -> dict:
         """Physical-IO counters for reports and the ledger (additive to
-        the charged :class:`AccessStats`, never a substitute)."""
+        the charged :class:`AccessStats`, never a substitute).
+
+        The core keys are pinned by
+        :func:`repro.obs.telemetry.validate_io_stats`.
+        ``write_amplification`` — total physical bytes written (WAL plus
+        page-file) over the live committed payload bytes — is always
+        present and deterministic for a deterministic workload; the
+        ``latency`` summaries and ``slow_ops`` count are additive and
+        appear only when telemetry is attached.
+        """
         pool = self.pool
-        return {
+        live_bytes = sum(
+            entry.length for entry in pool.pages.values() if entry.durable
+        )
+        wal_stats = self._wal.stats()
+        physical = wal_stats["bytes"] + self._pagefile.bytes_written
+        out = {
             "backend": "disk",
             "pool": {**pool.stats(), "hit_rate": round(pool.hit_rate, 6)},
-            "wal": self._wal.stats(),
+            "wal": wal_stats,
             "pagefile": self._pagefile.stats(),
             "commits": self.commits,
             "checkpoints": self.checkpoints,
+            "write_amplification": round(physical / live_bytes, 4)
+            if live_bytes
+            else 0.0,
         }
+        telem = self._telemetry
+        if telem is not None:
+            out["latency"] = {
+                name: summary
+                for name, summary in telem.latency_summaries().items()
+                if name.startswith("storage.")
+            }
+            out["slow_ops"] = len(telem.slow_ops)
+        return out
 
 
 # -- access-method persistence helpers ---------------------------------------

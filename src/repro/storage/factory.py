@@ -14,6 +14,11 @@ whole system — drivers, fuzzers, tests — onto the durable backend:
   references fail loudly (the aliasing check the tier-1 suite runs
   under in CI).
 * ``REPRO_STORE_FSYNC`` — ``0`` skips the commit fsync (benches only).
+* ``REPRO_TELEMETRY`` — ``1`` attaches the process-wide
+  :class:`repro.obs.telemetry.Telemetry` to every disk store built
+  here, so IO latencies, commit/checkpoint timings and pool gauges are
+  recorded without touching any call site.  Telemetry never changes
+  charged statistics or results.
 
 The simulated backend stays the default everywhere, so existing CI
 identity gates are untouched.
@@ -101,6 +106,12 @@ def make_store(
     disk_kwargs.setdefault(
         "fsync", os.environ.get(FSYNC_ENV, "").strip() != "0"
     )
+    if "telemetry" not in disk_kwargs:
+        from repro.obs.telemetry import active_telemetry
+
+        telemetry = active_telemetry()
+        if telemetry is not None:
+            disk_kwargs["telemetry"] = telemetry
     return DiskPageStore(
         path, page_size, pool_pages=pool_pages, vector=vector, **disk_kwargs
     )

@@ -19,18 +19,27 @@ the "dead" machine; recovery reopens the files through a fresh
 provider.  All randomness comes from one seeded :class:`random.Random`,
 so a given ``(seed, fail_after, mode)`` triple always produces the same
 torn length / flipped bit — reproducers stay reproducible.
+
+Two further decorators compose around any provider:
+:class:`InstrumentedIO` times every ``pread``/``pwrite``/``fsync`` into
+a telemetry sink (:mod:`repro.obs.telemetry`), and :class:`DelayingIO`
+injects deterministic latency — the slow-disk model the slow-operation
+log is tested against.
 """
 
 from __future__ import annotations
 
 import os
+import time
 from pathlib import Path
 from random import Random
 
 __all__ = [
+    "DelayingIO",
     "FaultInjectingIO",
     "FileHandle",
     "InjectedCrash",
+    "InstrumentedIO",
     "IOProvider",
     "OsFileIO",
 ]
@@ -99,6 +108,168 @@ class OsFileIO(IOProvider):
     def open(self, path: str | Path) -> FileHandle:
         fd = os.open(path, os.O_RDWR | os.O_CREAT, 0o644)
         return FileHandle(path, fd)
+
+
+class _ForwardingHandle:
+    """Base for handle decorators: delegate everything to an inner handle.
+
+    Wrappers compose around *any* handle (an :class:`OsFileIO` one, a
+    fault-injecting one, another wrapper), so they hold the inner handle
+    by reference instead of stealing its file descriptor.
+    """
+
+    def __init__(self, inner: FileHandle):
+        self._inner = inner
+
+    @property
+    def path(self) -> Path:
+        return self._inner.path
+
+    def pread(self, n: int, offset: int) -> bytes:
+        return self._inner.pread(n, offset)
+
+    def pwrite(self, data: bytes, offset: int) -> int:
+        return self._inner.pwrite(data, offset)
+
+    def fsync(self) -> None:
+        self._inner.fsync()
+
+    def truncate(self, size: int) -> None:
+        self._inner.truncate(size)
+
+    def size(self) -> int:
+        return self._inner.size()
+
+    def close(self) -> None:
+        self._inner.close()
+
+    @property
+    def closed(self) -> bool:
+        return self._inner.closed
+
+
+class _TimingHandle(_ForwardingHandle):
+    """Times every ``pread``/``pwrite``/``fsync`` into the telemetry sink."""
+
+    def __init__(self, inner: FileHandle, sink):
+        super().__init__(inner)
+        self._sink = sink
+
+    def pread(self, n: int, offset: int) -> bytes:
+        start = time.perf_counter()
+        data = self._inner.pread(n, offset)
+        self._sink.observe_io("pread", time.perf_counter() - start, len(data))
+        return data
+
+    def pwrite(self, data: bytes, offset: int) -> int:
+        start = time.perf_counter()
+        out = self._inner.pwrite(data, offset)
+        self._sink.observe_io("pwrite", time.perf_counter() - start, len(data))
+        return out
+
+    def fsync(self) -> None:
+        start = time.perf_counter()
+        self._inner.fsync()
+        self._sink.observe_io("fsync", time.perf_counter() - start, 0)
+
+
+class InstrumentedIO(IOProvider):
+    """Per-call latency instrumentation around a base :class:`IOProvider`.
+
+    ``sink`` is duck-typed: anything with
+    ``observe_io(op, seconds, nbytes)`` works, in practice a
+    :class:`repro.obs.telemetry.Telemetry` (this module stays free of
+    :mod:`repro.obs` imports so the storage layer never depends on the
+    observability stack).  The wrapper composes: production wraps
+    :class:`OsFileIO`, the fault-injection tests wrap a
+    :class:`FaultInjectingIO`, and the instrumentation sees the same
+    calls either way.  When telemetry is disabled no wrapper is
+    installed at all, so the uninstrumented path pays nothing.
+    """
+
+    def __init__(self, base: IOProvider, sink):
+        self.base = base
+        self.sink = sink
+
+    def open(self, path: str | Path) -> FileHandle:
+        return _TimingHandle(self.base.open(path), self.sink)  # type: ignore[return-value]
+
+    def exists(self, path: str | Path) -> bool:
+        return self.base.exists(path)
+
+    def replace(self, src: str | Path, dst: str | Path) -> None:
+        start = time.perf_counter()
+        self.base.replace(src, dst)
+        self.sink.observe_io("replace", time.perf_counter() - start, 0)
+
+    def remove(self, path: str | Path) -> None:
+        self.base.remove(path)
+
+
+class _DelayingHandle(_ForwardingHandle):
+    """Sleeps before delegating — a deterministic slow device."""
+
+    def __init__(self, inner: FileHandle, provider: "DelayingIO"):
+        super().__init__(inner)
+        self._provider = provider
+
+    def pread(self, n: int, offset: int) -> bytes:
+        self._provider.sleep("pread")
+        return self._inner.pread(n, offset)
+
+    def pwrite(self, data: bytes, offset: int) -> int:
+        self._provider.sleep("pwrite")
+        return self._inner.pwrite(data, offset)
+
+    def fsync(self) -> None:
+        self._provider.sleep("fsync")
+        self._inner.fsync()
+
+
+class DelayingIO(IOProvider):
+    """Deterministic latency injection around a base :class:`IOProvider`.
+
+    The timing counterpart of :class:`FaultInjectingIO`: instead of
+    crashing at write *N*, every operation of a chosen kind is slowed by
+    a fixed delay, which is how tests manufacture a disk whose ``fsync``
+    reliably crosses the slow-operation threshold.  Delays are plain
+    ``time.sleep`` calls, so they are visible to any latency histogram
+    wrapped around this provider and to the wall clock alike.
+    """
+
+    def __init__(
+        self,
+        base: IOProvider | None = None,
+        *,
+        pread_delay: float = 0.0,
+        pwrite_delay: float = 0.0,
+        fsync_delay: float = 0.0,
+    ):
+        self.base = base if base is not None else OsFileIO()
+        self.delays = {
+            "pread": pread_delay,
+            "pwrite": pwrite_delay,
+            "fsync": fsync_delay,
+        }
+        self.slept = {"pread": 0, "pwrite": 0, "fsync": 0}
+
+    def sleep(self, op: str) -> None:
+        delay = self.delays.get(op, 0.0)
+        if delay > 0.0:
+            self.slept[op] += 1
+            time.sleep(delay)
+
+    def open(self, path: str | Path) -> FileHandle:
+        return _DelayingHandle(self.base.open(path), self)  # type: ignore[return-value]
+
+    def exists(self, path: str | Path) -> bool:
+        return self.base.exists(path)
+
+    def replace(self, src: str | Path, dst: str | Path) -> None:
+        self.base.replace(src, dst)
+
+    def remove(self, path: str | Path) -> None:
+        self.base.remove(path)
 
 
 class _InjectingHandle(FileHandle):

@@ -22,8 +22,10 @@ MODULES = (
     "repro.obs.ledger",
     "repro.obs.profile",
     "repro.obs.explain",
+    "repro.obs.telemetry",
     "repro.verify.fuzz",
     "repro.query.bench",
+    "repro.storage.bench",
 )
 
 #: CLIs whose first positional is an input file they must fail cleanly on.
@@ -59,6 +61,14 @@ class TestEntryPoints:
         proc = run_module(module, str(tmp_path / "absent.json"))
         assert proc.returncode == 1
         assert proc.stderr  # a diagnostic, not a traceback spray
+        assert "Traceback" not in proc.stderr
+
+    def test_telemetry_validate_missing_file_exits_one(self, tmp_path):
+        proc = run_module(
+            "repro.obs.telemetry", "validate", str(tmp_path / "absent.jsonl")
+        )
+        assert proc.returncode == 1
+        assert "UNREADABLE" in proc.stdout
         assert "Traceback" not in proc.stderr
 
     def test_ledger_tolerates_missing_file(self, tmp_path):

@@ -6,7 +6,10 @@ import pytest
 
 from repro.obs.metrics import (
     DEFAULT_ACCESS_BUCKETS,
+    LATENCY_BUCKETS_SECONDS,
+    SIZE_BUCKETS_BYTES,
     Counter,
+    Gauge,
     Histogram,
     MetricsRegistry,
     Timer,
@@ -80,6 +83,52 @@ class TestHistogram:
     def test_default_buckets_ascending(self):
         assert list(DEFAULT_ACCESS_BUCKETS) == sorted(DEFAULT_ACCESS_BUCKETS)
 
+    def test_latency_preset_ascending_and_spans_us_to_seconds(self):
+        assert list(LATENCY_BUCKETS_SECONDS) == sorted(LATENCY_BUCKETS_SECONDS)
+        assert LATENCY_BUCKETS_SECONDS[0] <= 1e-6  # SSD-cache-hit preads
+        assert LATENCY_BUCKETS_SECONDS[-1] >= 10.0  # multi-second checkpoints
+        assert list(SIZE_BUCKETS_BYTES) == sorted(SIZE_BUCKETS_BYTES)
+
+    def test_latency_preset_percentiles_stay_exact(self):
+        """Bucket boundaries never coarsen percentiles: observations are
+        kept verbatim, so p99 of a latency histogram is the exact
+        nearest-rank sample even between bucket bounds."""
+        h = Histogram("fsync_seconds", buckets=LATENCY_BUCKETS_SECONDS)
+        samples = [0.0000017 * (i + 1) for i in range(100)]  # off-boundary
+        for v in samples:
+            h.observe(v)
+        assert h.percentile(50) == samples[49]
+        assert h.percentile(99) == samples[98]
+        assert h.percentile(100) == samples[99]
+        # and the bucket counts add up to the sample count regardless
+        assert sum(h.bucket_counts) == 100
+
+
+class TestGauge:
+    def test_direct_set(self):
+        g = Gauge("pool.resident")
+        assert g.value == 0.0
+        g.set(7)
+        assert g.value == 7.0
+
+    def test_callback_gauge_reads_live_state(self):
+        frames = []
+        g = Gauge("pool.resident", fn=lambda: len(frames))
+        assert g.value == 0.0
+        frames.extend([1, 2, 3])
+        assert g.value == 3.0
+
+    def test_set_on_callback_gauge_rejected(self):
+        g = Gauge("x", fn=lambda: 1)
+        with pytest.raises(ValueError, match="callback"):
+            g.set(5)
+
+    def test_rebinding_latest_wins(self):
+        g = Gauge("x")
+        g.set(2)
+        g.set_function(lambda: 9)
+        assert g.value == 9.0
+
 
 class TestTimer:
     def test_accumulates(self):
@@ -99,6 +148,20 @@ class TestRegistry:
         assert r.counter("a") is r.counter("a")
         assert r.histogram("h") is r.histogram("h")
         assert r.timer("t") is r.timer("t")
+        assert r.gauge("g") is r.gauge("g")
+
+    def test_gauge_rebind_through_registry(self):
+        r = MetricsRegistry()
+        g = r.gauge("pool.resident", lambda: 1)
+        assert r.gauge("pool.resident", lambda: 5) is g
+        assert g.value == 5.0
+
+    def test_as_dict_and_render_include_gauges(self):
+        r = MetricsRegistry()
+        assert "gauges" not in r.as_dict()  # additive: only when present
+        r.gauge("pool.resident").set(4)
+        assert r.as_dict()["gauges"]["pool.resident"]["value"] == 4.0
+        assert "pool.resident" in r.render()
 
     def test_as_dict_shape(self):
         r = MetricsRegistry()
